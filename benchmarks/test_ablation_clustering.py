@@ -1,0 +1,50 @@
+"""Ablation: clustering TELLER records with their BRANCH record.
+
+Section 3.1: clustering stores the TELLERs in their BRANCH's page,
+reducing the page accesses per transaction from four to three and the
+page locks from three to two, and improving hit ratios.  All of the
+paper's experiments use the clustered layout; this ablation quantifies
+what it buys.
+"""
+
+from benchmarks.conftest import run_once
+from repro.system.config import DebitCreditConfig, SystemConfig
+from repro.system.runner import run_simulation
+
+
+def run_pair(scale):
+    base = SystemConfig(
+        num_nodes=2,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=scale.warmup_time,
+        measure_time=max(scale.measure_time, 4.0),
+    )
+    clustered = run_simulation(base)
+    unclustered = run_simulation(
+        base.replace(debit_credit=DebitCreditConfig(cluster_branch_teller=False))
+    )
+    return clustered, unclustered
+
+
+def test_ablation_branch_teller_clustering(benchmark, scale):
+    clustered, unclustered = run_once(benchmark, lambda: run_pair(scale))
+    print()
+    print(f"clustered  : RT={clustered.response_time_ms:.1f} ms, "
+          f"page accesses/txn={clustered.mean_accesses_per_txn:.2f}, "
+          f"locks/txn={clustered.lock_requests_per_txn:.2f}")
+    print(f"unclustered: RT={unclustered.response_time_ms:.1f} ms, "
+          f"page accesses/txn={unclustered.mean_accesses_per_txn:.2f}, "
+          f"locks/txn={unclustered.lock_requests_per_txn:.2f}")
+
+    # Three page accesses with clustering, four without.
+    assert abs(clustered.mean_accesses_per_txn - 3.0) < 0.15
+    assert abs(unclustered.mean_accesses_per_txn - 4.0) < 0.15
+    # One page lock fewer with clustering (2 vs 3).
+    assert (
+        unclustered.lock_requests_per_txn
+        > clustered.lock_requests_per_txn + 0.7
+    )
+    # Clustering never hurts response time.
+    assert clustered.mean_response_time <= unclustered.mean_response_time * 1.05

@@ -1,0 +1,60 @@
+"""Ablation: GEM lock authorizations (the section-2 refinement).
+
+The paper evaluates the *simple* scheme -- every lock request against
+the GLT -- and sketches a refinement that authorizes local lock
+managers to process sole-interest requests without GEM accesses.  This
+ablation measures the refinement's two faces:
+
+* under affinity routing, nearly all pages are of sole interest: GEM
+  entry traffic collapses;
+* under random routing, authorizations thrash between nodes and the
+  revocation message exchanges make the refinement a net loss --
+  consistent with the paper's choice to evaluate the simple scheme,
+  whose cost is already negligible.
+"""
+
+from benchmarks.conftest import run_once
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+
+def run_quad(scale):
+    results = {}
+    for routing in ("affinity", "random"):
+        base = SystemConfig(
+            num_nodes=max(scale.node_counts),
+            coupling="gem",
+            routing=routing,
+            update_strategy="noforce",
+            warmup_time=scale.warmup_time,
+            measure_time=scale.measure_time,
+        )
+        results[(routing, "plain")] = run_simulation(base)
+        results[(routing, "auth")] = run_simulation(
+            base.replace(gem_lock_authorizations=True)
+        )
+    return results
+
+
+def test_ablation_gem_lock_authorizations(benchmark, scale):
+    results = run_once(benchmark, lambda: run_quad(scale))
+    print()
+    for (routing, variant), r in sorted(results.items()):
+        print(f"{routing}/{variant}: RT={r.response_time_ms:.1f} ms, "
+              f"GEM util={r.gem_utilization:.2%}, msgs/txn={r.messages_per_txn:.2f}")
+
+    # Affinity: GEM traffic collapses, response time unharmed.
+    assert (
+        results[("affinity", "auth")].gem_utilization
+        < results[("affinity", "plain")].gem_utilization * 0.7
+    )
+    assert (
+        results[("affinity", "auth")].mean_response_time
+        < results[("affinity", "plain")].mean_response_time * 1.05
+    )
+
+    # Random: revocation messages appear (the refinement's cost side).
+    assert (
+        results[("random", "auth")].messages_per_txn
+        > results[("random", "plain")].messages_per_txn
+    )

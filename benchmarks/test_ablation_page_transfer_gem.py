@@ -1,0 +1,58 @@
+"""Ablation: NOFORCE page transfers across GEM instead of messages.
+
+The paper's conclusions propose the extension: "Using GEM for
+implementing the page transfers would also improve coherency control
+performance for NOFORCE."  This ablation runs GEM locking with random
+routing (the configuration with the most page transfers) both ways.
+
+Expectations: GEM-mediated transfers eliminate the page-transfer
+messages (8000 + 8000 instructions and network time) in favour of two
+synchronous 50-microsecond GEM page accesses, cutting message counts
+to zero and trimming response time.
+"""
+
+from benchmarks.conftest import run_once
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+
+def run_pair(scale):
+    base = SystemConfig(
+        num_nodes=max(scale.node_counts),
+        coupling="gem",
+        routing="random",
+        update_strategy="noforce",
+        buffer_pages_per_node=1000,
+        warmup_time=scale.warmup_time,
+        measure_time=scale.measure_time,
+    )
+    via_messages = run_simulation(base)
+    via_gem = run_simulation(base.replace(page_transfer_via_gem=True))
+    return via_messages, via_gem
+
+
+def test_ablation_page_transfer_via_gem(benchmark, scale):
+    via_messages, via_gem = run_once(benchmark, lambda: run_pair(scale))
+    print()
+    print(f"page transfers via messages: RT={via_messages.response_time_ms:.1f} ms, "
+          f"msgs/txn={via_messages.messages_per_txn:.2f}, "
+          f"page reqs/txn={via_messages.page_requests_per_txn:.2f}, "
+          f"delay={via_messages.mean_page_request_delay * 1000:.1f} ms")
+    print(f"page transfers via GEM     : RT={via_gem.response_time_ms:.1f} ms, "
+          f"msgs/txn={via_gem.messages_per_txn:.2f}, "
+          f"page reqs/txn={via_gem.page_requests_per_txn:.2f}, "
+          f"delay={via_gem.mean_page_request_delay * 1000:.1f} ms, "
+          f"GEM util={via_gem.gem_utilization:.1%}")
+
+    # Both configurations exercise page transfers at all.
+    assert via_messages.page_requests_per_txn > 0.2
+    assert via_gem.page_requests_per_txn > 0.2
+    # The GEM path removes the message exchanges entirely.
+    assert via_gem.messages_per_txn < via_messages.messages_per_txn * 0.3
+    # ... and is much faster per transfer.
+    assert (
+        via_gem.mean_page_request_delay
+        < via_messages.mean_page_request_delay * 0.5
+    )
+    # Response time does not get worse.
+    assert via_gem.mean_response_time <= via_messages.mean_response_time * 1.05

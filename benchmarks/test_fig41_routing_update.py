@@ -1,0 +1,50 @@
+"""Benchmark: Fig. 4.1 -- workload allocation and update strategy.
+
+Shape assertions (section 4.2):
+
+* affinity curves stay (nearly) flat in the number of nodes;
+* random-routing response times exceed affinity at N >= 4;
+* FORCE lies above NOFORCE for every routing;
+* the BRANCH/TELLER hit ratio collapses under random routing;
+* GEM utilization stays negligible.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig41
+
+
+def test_fig41_routing_and_update_strategy(benchmark, scale):
+    result = run_once(benchmark, lambda: fig41.run(scale))
+    print()
+    print(result.table())
+
+    rt = lambda series, n: result.series_by_label(series).value_at(
+        n, lambda r: r.response_time_ms
+    )
+    last = max(scale.node_counts)
+
+    # Affinity: flat response times despite linear throughput growth.
+    for update in ("NOFORCE", "FORCE"):
+        base = rt(f"affinity/{update}", 1)
+        assert rt(f"affinity/{update}", last) < base * 1.35, (
+            f"affinity/{update} not flat"
+        )
+
+    # FORCE above NOFORCE everywhere.
+    for routing in ("affinity", "random"):
+        for n in scale.node_counts:
+            assert rt(f"{routing}/FORCE", n) > rt(f"{routing}/NOFORCE", n)
+
+    # Random routing worse than affinity at scale (FORCE suffers most).
+    assert rt("random/FORCE", last) > rt("affinity/FORCE", last) * 1.1
+
+    # Hit-ratio collapse under random routing.
+    random_force = result.series_by_label("random/FORCE")
+    bt_hit = lambda n: random_force.value_at(
+        n, lambda r: r.hit_ratios["BRANCH_TELLER"]
+    )
+    assert bt_hit(1) > 0.6  # ~71% centrally
+    assert bt_hit(last) < 0.45
+
+    # GEM locking delay is negligible: utilization tiny at full load.
+    assert random_force.value_at(last, lambda r: r.gem_utilization) < 0.05

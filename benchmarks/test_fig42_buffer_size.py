@@ -1,0 +1,56 @@
+"""Benchmark: Fig. 4.2 -- influence of buffer size (random routing).
+
+Shape assertions (section 4.3):
+
+* the larger buffer helps most in the central case (it can hold all
+  BRANCH/TELLER pages: optimal hit ratio);
+* the central-case improvement shrinks (relatively) with more nodes --
+  replicated caching erodes the larger buffer's effectiveness;
+* NOFORCE benefits more from the larger buffer than FORCE at scale.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig42
+
+
+import dataclasses
+
+
+def test_fig42_buffer_size(benchmark, scale):
+    # The 1000-page buffer needs a longer warm-up to reach its steady
+    # hit ratio (every BRANCH/TELLER page must have been touched once).
+    scale = dataclasses.replace(scale, warmup_time=3.0)
+    result = run_once(benchmark, lambda: fig42.run(scale))
+    print()
+    print(result.table())
+
+    rt = lambda series, n: result.series_by_label(series).value_at(
+        n, lambda r: r.response_time_ms
+    )
+    hit = lambda series, n: result.series_by_label(series).value_at(
+        n, lambda r: r.hit_ratios["BRANCH_TELLER"]
+    )
+    last = max(scale.node_counts)
+
+    # Central case: buffer 1000 holds the whole B/T partition (the
+    # asymptotic ratio is ~100 %; the short bench window keeps a small
+    # residue of first-touch misses).
+    assert hit("NOFORCE/buf1000", 1) > 0.9
+    assert hit("NOFORCE/buf1000", 1) > hit("NOFORCE/buf200", 1) + 0.1
+    assert hit("NOFORCE/buf200", 1) < 0.85
+
+    # The big buffer's hit-ratio advantage erodes with more nodes.
+    advantage_central = hit("FORCE/buf1000", 1) - hit("FORCE/buf200", 1)
+    advantage_scaled = hit("FORCE/buf1000", last) - hit("FORCE/buf200", last)
+    assert advantage_scaled < advantage_central
+
+    # Buffer 1000 never hurts, and helps the central case visibly.
+    assert rt("FORCE/buf1000", 1) < rt("FORCE/buf200", 1)
+
+    # At scale, NOFORCE retains more of the larger buffer's benefit
+    # than FORCE (misses become page requests, not disk reads).
+    force_gain = rt("FORCE/buf200", last) - rt("FORCE/buf1000", last)
+    noforce_gain = rt("NOFORCE/buf200", last) - rt("NOFORCE/buf1000", last)
+    force_relative = force_gain / rt("FORCE/buf200", last)
+    noforce_relative = noforce_gain / rt("NOFORCE/buf200", last)
+    assert noforce_relative > force_relative - 0.05

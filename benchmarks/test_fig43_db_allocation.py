@@ -1,0 +1,41 @@
+"""Benchmark: Fig. 4.3 -- influence of database allocation.
+
+Shape assertions (section 4.4):
+
+* NOFORCE: allocating BRANCH/TELLER to GEM changes almost nothing;
+* FORCE: the GEM allocation improves response times clearly, above all
+  for random routing;
+* FORCE + GEM allocation brings random routing close to affinity
+  routing and removes the response-time growth over the central case.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig43
+
+
+def test_fig43_database_allocation(benchmark, scale):
+    result = run_once(benchmark, lambda: fig43.run(scale))
+    print()
+    print(result.table())
+
+    rt = lambda series, n: result.series_by_label(series).value_at(
+        n, lambda r: r.response_time_ms
+    )
+    last = max(scale.node_counts)
+
+    # NOFORCE: GEM allocation is nearly irrelevant (within 15 %).
+    for routing in ("affinity", "random"):
+        disk = rt(f"NOFORCE/{routing}/disk", last)
+        gem = rt(f"NOFORCE/{routing}/gem", last)
+        assert abs(disk - gem) / disk < 0.15, (routing, disk, gem)
+
+    # FORCE: GEM allocation helps clearly, most for random routing.
+    force_random_disk = rt("FORCE/random/disk", last)
+    force_random_gem = rt("FORCE/random/gem", last)
+    assert force_random_gem < force_random_disk * 0.85
+    force_affinity_gem = rt("FORCE/affinity/gem", last)
+    # Random ~ affinity once the hot file lives in GEM.
+    assert force_random_gem < force_affinity_gem * 1.15
+
+    # ... and the growth over the central case disappears.
+    assert rt("FORCE/random/gem", last) < rt("FORCE/random/gem", 1) * 1.25

@@ -1,0 +1,45 @@
+"""Benchmark: Fig. 4.4 -- disk caches for BRANCH/TELLER (FORCE).
+
+Shape assertions (section 4.4):
+
+* a non-volatile disk cache achieves almost the same response times as
+  the GEM allocation (for both routings);
+* a volatile disk cache removes the read-miss penalty: it helps random
+  routing but does (almost) nothing for affinity routing at buffer
+  1000;
+* plain disks remain the slowest option under random routing.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig44
+
+
+def test_fig44_disk_caches(benchmark, scale):
+    result = run_once(benchmark, lambda: fig44.run(scale))
+    print()
+    print(result.table())
+
+    rt = lambda series, n: result.series_by_label(series).value_at(
+        n, lambda r: r.response_time_ms
+    )
+    last = max(scale.node_counts)
+
+    # Non-volatile cache ~ GEM allocation.
+    for routing in ("affinity", "random"):
+        nv = rt(f"{routing}/disk_nvcache", last)
+        gem = rt(f"{routing}/gem", last)
+        assert abs(nv - gem) / gem < 0.15, (routing, nv, gem)
+
+    # Volatile cache helps random routing (read misses hit the shared
+    # cache) ...
+    assert rt("random/disk_vcache", last) < rt("random/disk", last) * 0.9
+    # ... but not affinity routing (no misses at buffer 1000).
+    affinity_disk = rt("affinity/disk", last)
+    affinity_v = rt("affinity/disk_vcache", last)
+    assert abs(affinity_v - affinity_disk) / affinity_disk < 0.12
+
+    # Random routing with a volatile cache approaches affinity routing.
+    assert rt("random/disk_vcache", last) < rt("affinity/disk_vcache", last) * 1.2
+
+    # Plain disks stay slowest under random routing.
+    assert rt("random/disk", last) > rt("random/disk_nvcache", last)

@@ -1,0 +1,79 @@
+"""Benchmark: Fig. 4.6 -- throughput per node at 80 % CPU utilization.
+
+Shape assertions (section 4.5):
+
+* affinity routing: throughput per node stays roughly flat for both
+  couplings (linear scaling);
+* random routing: PCL sustains noticeably less throughput than GEM
+  locking (paper: about 15 % less);
+* under random routing, FORCE sustains more throughput than NOFORCE
+  for GEM locking (page requests/transfers cost more CPU than I/Os).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.system.config import SystemConfig
+from repro.system.runner import find_throughput_at_utilization
+
+
+def run_reduced(scale: Scale) -> ExperimentResult:
+    """Fig 4.6 at a single multi-node point per curve (bench budget)."""
+    num_nodes = max(scale.node_counts)
+    series = []
+    for coupling in ("gem", "pcl"):
+        for routing in ("affinity", "random"):
+            for update in ("noforce", "force"):
+                config = SystemConfig(
+                    num_nodes=num_nodes,
+                    coupling=coupling,
+                    routing=routing,
+                    update_strategy=update,
+                    buffer_pages_per_node=1000,
+                    warmup_time=scale.warmup_time,
+                    measure_time=scale.measure_time,
+                )
+                result = find_throughput_at_utilization(
+                    config,
+                    target_utilization=0.80,
+                    # At least six halvings: the search grid must be
+                    # finer than the ~15 % PCL/GEM throughput gap.
+                    max_iterations=max(scale.throughput_iterations, 6),
+                    rate_bounds=(80.0, 200.0),
+                )
+                current = Series(f"{coupling}/{routing}/{update.upper()}")
+                current.points.append((num_nodes, result))
+                series.append(current)
+    return ExperimentResult(
+        "Fig 4.6",
+        f"TPS per node at ~80% CPU utilization (N={num_nodes}, buffer 1000)",
+        series,
+        metric_label="TPS per node",
+        metric=lambda r: r.throughput_per_node,
+    )
+
+
+def test_fig46_throughput_at_80pct(benchmark, scale):
+    result = run_once(benchmark, lambda: run_reduced(scale))
+    print()
+    print(result.table())
+
+    tput = {
+        s.label: s.points[0][1].throughput_per_node for s in result.series
+    }
+    for label, value in sorted(tput.items()):
+        print(f"  {label}: {value:.1f} TPS/node")
+
+    # PCL pays for its messages under random routing.
+    assert tput["pcl/random/NOFORCE"] < tput["gem/random/NOFORCE"]
+    assert tput["pcl/random/FORCE"] < tput["gem/random/FORCE"]
+
+    # Affinity routing: both couplings sustain comparable rates.
+    assert (
+        abs(tput["pcl/affinity/NOFORCE"] - tput["gem/affinity/NOFORCE"])
+        / tput["gem/affinity/NOFORCE"]
+        < 0.15
+    )
+
+    # GEM locking under random routing: FORCE beats NOFORCE (the page
+    # requests/transfers of NOFORCE cost more CPU than FORCE's I/Os).
+    assert tput["gem/random/FORCE"] > tput["gem/random/NOFORCE"] * 0.98

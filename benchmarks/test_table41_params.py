@@ -1,0 +1,25 @@
+"""Benchmark: Table 4.1 -- parameter settings and single-node anchor.
+
+Regenerates the parameter table and runs the central configuration,
+checking the facts the paper derives from the parameters (CPU
+utilization >= 62.5 % at 100 TPS, HISTORY hit ratio 95 %, BRANCH/
+TELLER hit ratio ~71 % at buffer 200, three page accesses/txn).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table41
+from repro.system.config import SystemConfig
+
+
+def test_table41_parameters_and_anchor_run(benchmark, scale):
+    config = SystemConfig()
+    for key, value in table41.parameter_rows(config):
+        print(f"{key:<22} {value}")
+
+    result = run_once(benchmark, lambda: table41.run(scale))
+    print()
+    print(result.summary())
+    checks = table41.validate(result)
+    for check, ok in checks.items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+    assert all(checks.values()), checks

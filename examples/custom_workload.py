@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Define and run a custom synthetic workload.
+
+The simulation system is not tied to debit-credit: this example builds
+an order-entry style workload from scratch -- a hot STOCK file under a
+Zipf access pattern, an ORDERS file taking inserts, and a long
+analytic reader class -- and compares close vs loose coupling on it.
+
+Run:
+    python examples/custom_workload.py [--nodes 4]
+"""
+
+import argparse
+
+from repro import SystemConfig, run_simulation
+from repro.workload.synthetic import (
+    AccessSpec,
+    PartitionSpec,
+    SyntheticWorkloadSpec,
+    TransactionClass,
+)
+
+
+def build_spec(num_nodes: int) -> SyntheticWorkloadSpec:
+    return SyntheticWorkloadSpec(
+        partitions=[
+            PartitionSpec("STOCK", 20_000, disks=8 * num_nodes),
+            PartitionSpec("ORDERS", 200_000, disks=6 * num_nodes),
+            PartitionSpec("CUSTOMER", 50_000, disks=4 * num_nodes),
+        ],
+        classes=[
+            TransactionClass(
+                "new-order",
+                weight=10,
+                accesses=[
+                    AccessSpec("CUSTOMER", count=1, distribution="zipf",
+                               zipf_theta=0.6),
+                    AccessSpec("STOCK", count=8, write_probability=1.0,
+                               distribution="zipf", zipf_theta=0.9),
+                    AccessSpec("ORDERS", count=1, write_probability=1.0),
+                ],
+                affinity_node=0,
+            ),
+            TransactionClass(
+                "payment",
+                weight=10,
+                accesses=[
+                    AccessSpec("CUSTOMER", count=1, write_probability=1.0,
+                               distribution="zipf", zipf_theta=0.6),
+                ],
+                affinity_node=1 % num_nodes,
+            ),
+            TransactionClass(
+                "stock-scan",
+                weight=1,
+                accesses=[
+                    AccessSpec("STOCK", count=150, distribution="zipf",
+                               hot_fraction=0.3),
+                ],
+                affinity_node=2 % num_nodes,
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=40.0)
+    parser.add_argument("--measure", type=float, default=5.0)
+    args = parser.parse_args()
+
+    base = SystemConfig(
+        num_nodes=args.nodes,
+        workload="synthetic",
+        synthetic=build_spec(args.nodes),
+        routing="affinity",
+        update_strategy="noforce",
+        arrival_rate_per_node=args.rate,
+        buffer_pages_per_node=1000,
+        warmup_time=1.5,
+        measure_time=args.measure,
+    )
+    print(f"order-entry workload, N={args.nodes}, {args.rate:.0f} TPS/node\n")
+    print(f"{'coupling':>9} {'RT [ms]':>9} {'locks/txn':>10} {'local':>7} "
+          f"{'msgs/txn':>9} {'CPU':>5}")
+    print("-" * 56)
+    for coupling in ("gem", "pcl"):
+        r = run_simulation(base.replace(coupling=coupling))
+        print(f"{coupling:>9} {r.response_time_ms:>9.1f} "
+              f"{r.lock_requests_per_txn:>10.1f} {r.local_lock_share:>7.0%} "
+              f"{r.messages_per_txn:>9.2f} {r.cpu_utilization_avg:>5.0%}")
+    print()
+    print("Defining a workload takes ~30 lines; everything else -- "
+          "buffering, coherency, devices -- is shared infrastructure.")
+
+
+if __name__ == "__main__":
+    main()

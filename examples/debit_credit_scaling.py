@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Scaling study: debit-credit response times from 1 to 10 nodes.
+
+Reproduces the heart of the paper's Fig. 4.1 at example scale: how the
+workload-allocation strategy (random vs affinity-based routing) and
+the update strategy (FORCE vs NOFORCE) shape response times as the
+system -- and with it the database, per the TPC scaling rules -- grows.
+
+Watch for:
+* flat curves under affinity routing (linear scalability),
+* rising curves under random routing, driven by buffer invalidations
+  on the hot BRANCH/TELLER file (the hit ratio column),
+* FORCE paying for its synchronous force-writes at commit.
+
+Run:
+    python examples/debit_credit_scaling.py [--nodes 1 2 4 8]
+"""
+
+import argparse
+
+from repro import SystemConfig, run_simulation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=[1, 2, 4, 6, 8, 10]
+    )
+    parser.add_argument("--measure", type=float, default=5.0)
+    args = parser.parse_args()
+
+    print(f"{'N':>3} {'routing':>9} {'update':>8} {'RT [ms]':>9} "
+          f"{'B/T hit':>8} {'inval/txn':>10} {'TPS':>7}")
+    print("-" * 62)
+    for routing in ("affinity", "random"):
+        for update in ("noforce", "force"):
+            for num_nodes in args.nodes:
+                config = SystemConfig(
+                    num_nodes=num_nodes,
+                    coupling="gem",
+                    routing=routing,
+                    update_strategy=update,
+                    warmup_time=1.5,
+                    measure_time=args.measure,
+                )
+                r = run_simulation(config)
+                print(
+                    f"{num_nodes:>3} {routing:>9} {update:>8} "
+                    f"{r.response_time_ms:>9.1f} "
+                    f"{r.hit_ratios['BRANCH_TELLER']:>8.0%} "
+                    f"{r.invalidations_per_txn['BRANCH_TELLER']:>10.2f} "
+                    f"{r.throughput_total:>7.0f}"
+                )
+            print("-" * 62)
+
+
+if __name__ == "__main__":
+    main()

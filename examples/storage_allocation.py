@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Hot-file placement study: where should BRANCH/TELLER live?
+
+The debit-credit BRANCH/TELLER file is tiny (100 pages per node) but
+takes a write per transaction -- it dominates I/O and coherency
+behaviour.  This example places it on plain disks, behind a volatile
+or non-volatile disk cache, or resident in GEM, and shows how the
+choice interacts with the update strategy (the paper's sections
+4.3/4.4): under FORCE, fast non-volatile storage absorbs the commit
+force-writes and makes even random routing cheap; under NOFORCE the
+placement hardly matters because misses are served by inter-node page
+transfers.
+
+Run:
+    python examples/storage_allocation.py [--nodes 6] [--routing random]
+"""
+
+import argparse
+
+from repro import DebitCreditConfig, SystemConfig, run_simulation
+from repro.db.schema import StorageKind
+
+PLACEMENTS = [
+    ("plain disks", StorageKind.DISK),
+    ("volatile disk cache", StorageKind.DISK_VOLATILE_CACHE),
+    ("non-volatile disk cache", StorageKind.DISK_NONVOLATILE_CACHE),
+    ("disks + GEM write buffer", StorageKind.DISK_GEM_WRITE_BUFFER),
+    ("GEM resident", StorageKind.GEM),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=6)
+    parser.add_argument("--routing", choices=["random", "affinity"],
+                        default="random")
+    parser.add_argument("--measure", type=float, default=5.0)
+    args = parser.parse_args()
+
+    print(f"debit-credit, N={args.nodes}, {args.routing} routing, "
+          f"buffer 1000 pages/node\n")
+    print(f"{'BRANCH/TELLER placement':>26} {'FORCE [ms]':>11} "
+          f"{'NOFORCE [ms]':>13}")
+    print("-" * 54)
+    for label, storage in PLACEMENTS:
+        row = [label]
+        for update in ("force", "noforce"):
+            config = SystemConfig(
+                num_nodes=args.nodes,
+                coupling="gem",
+                routing=args.routing,
+                update_strategy=update,
+                buffer_pages_per_node=1000,
+                debit_credit=DebitCreditConfig(branch_teller_storage=storage),
+                warmup_time=1.5,
+                measure_time=args.measure,
+            )
+            row.append(run_simulation(config).response_time_ms)
+        print(f"{row[0]:>26} {row[1]:>11.1f} {row[2]:>13.1f}")
+    print()
+    print("FORCE: a non-volatile cache or GEM absorbs the force-writes "
+          "and the read misses -- random routing stops hurting.")
+    print("NOFORCE: placement is nearly irrelevant; stale/missing pages "
+          "travel between nodes as page transfers.")
+
+
+if __name__ == "__main__":
+    main()

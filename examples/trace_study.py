@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Trace-driven simulation study (the paper's section 4.6 workflow).
+
+1. Synthesizes a "real-life" trace matching the aggregates the paper
+   reports for its proprietary database trace (17,500 transactions of
+   twelve types, ~1M references, 66k distinct pages in 13 files, 20 %
+   update transactions, 1.6 % write references).
+2. Computes an affinity routing table and a coordinated GLA assignment
+   with the [Ra92b]-style heuristics.
+3. Replays the trace on closely and loosely coupled clusters and
+   reports the paper's Fig. 4.7 metrics.
+
+Run:
+    python examples/trace_study.py [--nodes 4] [--scale 0.1]
+"""
+
+import argparse
+
+from repro import SystemConfig, TraceWorkloadConfig, run_simulation
+from repro.sim import StreamRegistry
+from repro.workload.tracegen import generate_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="trace shrink factor (1.0 = paper size)")
+    parser.add_argument("--measure", type=float, default=5.0)
+    args = parser.parse_args()
+
+    trace_config = TraceWorkloadConfig(scale=args.scale)
+
+    # -- step 1: inspect the synthetic trace --------------------------
+    trace, _profiles, _sizes = generate_trace(
+        trace_config, StreamRegistry(42).stream("tracegen")
+    )
+    print("synthetic trace (scaled by "
+          f"{args.scale}): {len(trace)} transactions, "
+          f"{trace.num_references():,} references")
+    print(f"  types: {trace.num_types()}, mean size "
+          f"{trace.mean_references():.1f}, largest {trace.max_references()}")
+    print(f"  distinct pages: {trace.distinct_pages():,} "
+          f"in {trace.num_files} files")
+    print(f"  update txns: {trace.update_transaction_fraction():.0%}, "
+          f"write references: {trace.write_reference_fraction():.1%}")
+    print()
+
+    # -- steps 2+3: replay under both couplings ------------------------
+    base = SystemConfig(
+        num_nodes=args.nodes,
+        workload="trace",
+        update_strategy="noforce",
+        arrival_rate_per_node=50.0,
+        buffer_pages_per_node=1000,
+        trace=trace_config,
+        warmup_time=1.5,
+        measure_time=args.measure,
+    )
+    print(f"{'config':>16} {'RT-artif [ms]':>14} {'local locks':>12} "
+          f"{'msgs/txn':>9} {'CPU avg/max':>12}")
+    print("-" * 70)
+    for coupling in ("gem", "pcl"):
+        for routing in ("affinity", "random"):
+            config = base.replace(
+                coupling=coupling,
+                routing=routing,
+                pcl_read_optimization=(coupling == "pcl"),
+            )
+            r = run_simulation(config)
+            print(
+                f"{coupling + '/' + routing:>16} "
+                f"{r.mean_response_time_artificial * 1000:>14.0f} "
+                f"{r.local_lock_share:>12.0%} "
+                f"{r.messages_per_txn:>9.1f} "
+                f"{r.cpu_utilization_avg:>6.0%}/{r.cpu_utilization_max:.0%}"
+            )
+    print()
+    print("Close coupling (gem) wins on both routings; the read "
+          "optimization keeps PCL's affinity share high, but its "
+          "message overhead still costs response time and CPU "
+          "(the paper's Fig. 4.7).")
+
+
+if __name__ == "__main__":
+    main()

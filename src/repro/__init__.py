@@ -1,0 +1,47 @@
+"""repro: reproduction of Rahm (ICDCS 1993), "Evaluation of Closely
+Coupled Systems for High Performance Database Processing".
+
+A comprehensive discrete-event simulation of database sharing (shared
+disk) systems under close coupling (Global Extended Memory with a
+global lock table) and loose coupling (primary copy locking over
+messages), including the full substrate: simulation kernel, device
+models (GEM, disks, disk caches, network), processing-node model
+(transaction manager, LRU buffer manager, 2PL lock tables), workload
+generators (debit-credit and trace-driven) and the experiment harness
+regenerating every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import SystemConfig, run_simulation
+
+    result = run_simulation(SystemConfig(num_nodes=4, coupling="gem",
+                                         routing="affinity",
+                                         update_strategy="noforce"))
+    print(result.summary())
+"""
+
+from repro.system.config import (
+    Coupling,
+    DebitCreditConfig,
+    RoutingStrategy,
+    SystemConfig,
+    TraceWorkloadConfig,
+    UpdateStrategy,
+)
+from repro.system.results import RunResult
+from repro.system.runner import find_throughput_at_utilization, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coupling",
+    "DebitCreditConfig",
+    "RoutingStrategy",
+    "RunResult",
+    "SystemConfig",
+    "TraceWorkloadConfig",
+    "UpdateStrategy",
+    "find_throughput_at_utilization",
+    "run_simulation",
+    "__version__",
+]

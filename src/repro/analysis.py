@@ -1,0 +1,145 @@
+"""Analytic cross-checks: operational laws applied to the model.
+
+For the debit-credit workload most first-order quantities follow from
+the configuration by the utilization law (U = X * S).  This module
+computes those predictions so tests and users can cross-validate the
+simulation: a discrete-event simulator whose measured utilizations
+disagree with the operational laws is wrong, full stop.
+
+The predictions deliberately cover only the load-independent part
+(service demands); queueing delays and buffer dynamics are what the
+simulation exists to produce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.system.config import Coupling, RoutingStrategy, SystemConfig
+
+__all__ = ["DebitCreditPrediction", "predict_debit_credit"]
+
+
+@dataclasses.dataclass
+class DebitCreditPrediction:
+    """First-order per-node predictions for debit-credit."""
+
+    #: Expected CPU utilization per node (path length + I/O overhead +
+    #: message overhead, excluding queueing).
+    cpu_utilization: float
+    #: Expected log-disk utilization per node.
+    log_disk_utilization: float
+    #: Expected GEM utilization (entry traffic of GEM locking).
+    gem_utilization: float
+    #: Remote lock requests per transaction (PCL).
+    remote_locks_per_txn: float
+    #: Messages per transaction (sends; PCL lock traffic only).
+    messages_per_txn: float
+    #: Instructions per transaction, all sources.
+    instructions_per_txn: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+def _locks_per_txn(config: SystemConfig) -> float:
+    return 2.0 if config.debit_credit.cluster_branch_teller else 3.0
+
+
+def _remote_lock_fraction(config: SystemConfig) -> float:
+    """Fraction of lock requests a PCL node must send to a remote GLA."""
+    n = config.num_nodes
+    if n == 1:
+        return 0.0
+    if config.routing is RoutingStrategy.RANDOM:
+        # The transaction's branch is independent of its node: only
+        # 1/n of the GLA lookups are local.
+        return (n - 1) / n
+    # Affinity routing: BRANCH/TELLER is always local; ACCOUNT goes
+    # remote only for the 15 % other-branch accesses, which land on a
+    # remote node's partition with probability (n-1)/n.
+    locks = _locks_per_txn(config)
+    account_locks = 1.0
+    remote_accounts = (
+        (1.0 - config.debit_credit.account_local_probability) * (n - 1) / n
+    )
+    return account_locks * remote_accounts / locks
+
+
+def predict_debit_credit(config: SystemConfig) -> DebitCreditPrediction:
+    """Operational-law predictions for one node at the offered rate."""
+    if config.workload != "debit_credit":
+        raise ValueError("predictions cover the debit-credit workload")
+    rate = config.arrival_rate_per_node
+    locks = _locks_per_txn(config)
+    accesses = 4.0  # record accesses
+    pages = 3.0 if config.debit_credit.cluster_branch_teller else 4.0
+
+    # -- I/O counts per transaction (ignoring buffer hits for writes
+    #    that are certain: every update transaction logs once; FORCE
+    #    forces each modified page).
+    log_writes = 1.0
+    force_writes = pages if config.force else 0.0
+
+    # -- instruction budget per transaction -----------------------------
+    instructions = config.path_length(int(accesses))
+    instructions += log_writes * config.instructions_per_io
+    instructions += force_writes * config.instructions_per_io
+    # Read-miss I/O overhead: at least the ACCOUNT read misses (~100%).
+    instructions += 1.0 * config.instructions_per_io
+
+    remote_fraction = 0.0
+    messages = 0.0
+    gem_utilization = 0.0
+    if config.coupling is Coupling.PCL:
+        remote_fraction = _remote_lock_fraction(config)
+        remote_locks = locks * remote_fraction
+        # Request + reply per remote lock; one release message per
+        # remote GLA group (~= per remote lock for debit-credit, since
+        # the two lockable pages usually live at different GLAs).
+        messages = remote_locks * 3.0
+        # Sender + receiver overhead is split across the nodes; on
+        # average each node pays one side of every message involving it
+        # -- request (send), reply (receive), release (send) plus the
+        # GLA-side work its own partition receives from others, which
+        # by symmetry equals what it sends.
+        instructions += remote_locks * (
+            4.0 * config.instructions_msg_short  # request round
+            + 2.0 * config.instructions_msg_short  # release one-way
+        )
+    else:
+        # GEM locking: 2 entry accesses to acquire + 2 to release.
+        entry_ops = locks * 4.0
+        if config.noforce:
+            # Each transaction leaves one dirty BRANCH/TELLER version
+            # behind; under replacement pressure its eventual write-back
+            # clears the ownership entry (read + Compare&Swap).
+            entry_ops += 2.0
+        instructions += entry_ops * config.instructions_per_gem_entry_op
+        gem_utilization = (
+            rate
+            * config.num_nodes
+            * entry_ops
+            * config.gem_entry_access_time
+            / config.gem_servers
+        )
+
+    cpu_capacity = config.cpus_per_node * config.cpu_speed
+    cpu_utilization = rate * instructions / cpu_capacity
+
+    log_service = (
+        config.disk_time_log + config.controller_time + config.transfer_time
+    )
+    log_disk_utilization = (
+        rate * log_writes * (config.disk_time_log) / config.log_disks_per_node
+    )
+
+    return DebitCreditPrediction(
+        cpu_utilization=min(1.0, cpu_utilization),
+        log_disk_utilization=min(1.0, log_disk_utilization),
+        gem_utilization=gem_utilization,
+        remote_locks_per_txn=locks * remote_fraction,
+        messages_per_txn=messages,
+        instructions_per_txn=instructions,
+    )

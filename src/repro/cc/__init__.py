@@ -1,0 +1,22 @@
+"""Concurrency and coherency control protocols.
+
+Two complete protocols are implemented, matching section 3.2:
+
+* :class:`~repro.cc.gem_locking.GemLockingProtocol` -- close coupling:
+  all lock requests/releases are processed against a global lock table
+  in GEM via synchronous entry accesses; coherency control uses page
+  sequence numbers and page-owner tracking stored in the same table.
+* :class:`~repro.cc.pcl.PrimaryCopyProtocol` -- loose coupling: the
+  database is partitioned into global lock authorities (GLA), remote
+  lock requests travel as messages, and update propagation under
+  NOFORCE piggybacks page transfers on lock grant/release messages.
+  An optional read optimization processes read locks locally.
+
+Both share the :class:`~repro.node.lock_table.LockTable` state machine
+and the global :class:`~repro.cc.deadlock.DeadlockDetector`.
+"""
+
+from repro.cc.base import CCProtocol, LockGrant, PageSource
+from repro.cc.deadlock import DeadlockDetector
+
+__all__ = ["CCProtocol", "DeadlockDetector", "LockGrant", "PageSource"]

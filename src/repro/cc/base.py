@@ -1,0 +1,111 @@
+"""Protocol interface shared by GEM locking and primary copy locking.
+
+The buffer manager drives coherency control through the
+:class:`LockGrant` a protocol returns from :meth:`CCProtocol.acquire`:
+it names the current page sequence number and where the current page
+version can be obtained if the local copy is missing or stale
+(:class:`PageSource`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+from repro.db.pages import PageId
+from repro.sim.engine import Event
+from repro.workload.transaction import Transaction
+
+__all__ = ["PageSource", "LockGrant", "CCProtocol"]
+
+
+class PageSource(str, enum.Enum):
+    """Where the current version of a page can be obtained."""
+
+    #: Read the permanent database (disk / disk cache / GEM file).
+    STORAGE = "storage"
+    #: Request the page from the owning node's buffer (GEM + NOFORCE).
+    OWNER = "owner"
+    #: The page arrived together with the lock grant (PCL + NOFORCE).
+    SUPPLIED = "supplied"
+
+
+class LockGrant:
+    """Result of a lock acquisition."""
+
+    __slots__ = ("seqno", "source", "owner_node", "local", "page_supplied")
+
+    def __init__(
+        self,
+        seqno: int,
+        source: PageSource = PageSource.STORAGE,
+        owner_node: Optional[int] = None,
+        local: bool = True,
+        page_supplied: bool = False,
+    ):
+        #: Current (committed) page sequence number.
+        self.seqno = seqno
+        #: Where to obtain the page on a buffer miss or invalidation.
+        self.source = source
+        #: Owning node for :attr:`PageSource.OWNER`.
+        self.owner_node = owner_node
+        #: True if the lock was processed without inter-node messages.
+        self.local = local
+        #: True if the current page version travelled with the grant.
+        self.page_supplied = page_supplied
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LockGrant(seqno={self.seqno}, source={self.source.value}, "
+            f"owner={self.owner_node}, local={self.local})"
+        )
+
+
+class CCProtocol:
+    """Abstract concurrency/coherency control protocol."""
+
+    name = "abstract"
+
+    def acquire(
+        self, txn: Transaction, page: PageId, write: bool, cached_version: Optional[int]
+    ) -> Generator[Event, Any, LockGrant]:
+        """Acquire a page lock for ``txn`` (S for reads, X for writes).
+
+        ``cached_version`` is the version of the local buffer copy, or
+        None when the page is not cached; PCL ships the current page
+        with the grant when the copy is stale.  May raise
+        :class:`~repro.errors.TransactionAborted`.
+        """
+        raise NotImplementedError
+
+    def request_page_from_owner(
+        self, txn: Transaction, page: PageId, grant: LockGrant
+    ) -> Generator[Event, Any, Optional[int]]:
+        """Fetch the page from ``grant.owner_node``'s buffer.
+
+        Returns the received version, or None if ownership lapsed and
+        the permanent database must be read instead.
+        """
+        raise NotImplementedError
+
+    def commit_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        """Commit phase 2: publish new sequence numbers, release locks.
+
+        The caller has already installed the committed versions in the
+        ledger and (for FORCE) completed all force-writes.
+        """
+        raise NotImplementedError
+
+    def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        """Release everything after a deadlock abort (no publications)."""
+        raise NotImplementedError
+
+    def page_written_back(
+        self, node_id: int, page: PageId, version: int
+    ) -> Generator[Event, Any, None]:
+        """A node wrote a committed dirty page to permanent storage.
+
+        GEM locking clears the page-owner entry so that future readers
+        go to storage; PCL needs no action (the GLA stays responsible).
+        """
+        raise NotImplementedError

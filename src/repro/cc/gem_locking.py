@@ -1,0 +1,317 @@
+"""Close coupling: concurrency/coherency control with a GEM lock table.
+
+Every lock request and release is processed against a **global lock
+table (GLT)** stored in Global Extended Memory (section 3.2):
+
+* Acquiring or releasing a lock costs two synchronous GEM entry
+  accesses (read the entry into main memory, write the modified value
+  back with Compare&Swap); the accessing CPU is held for the complete
+  operation, including queuing at the GEM server.
+* Lock conflicts register a wait in the GLT; when the holder releases,
+  it writes a grant notification entry per woken waiter, and the waiter
+  re-reads the entry (one more access) before proceeding.
+* Coherency control rides in the same entries: page sequence numbers
+  detect buffer invalidations with no extra GEM traffic, and under
+  NOFORCE the entry records the current **page owner**.  Stale or
+  missing pages are requested from the owner with a short message and
+  returned in a long message across the communication system -- or,
+  optionally, exchanged through GEM itself
+  (``config.page_transfer_via_gem``, an extension the paper's
+  conclusions propose).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.cc.base import CCProtocol, LockGrant, PageSource
+from repro.db.pages import PageId
+from repro.errors import TransactionAborted
+from repro.node.lock_table import LockMode, LockTable
+from repro.sim.engine import Event
+from repro.sim.stats import Tally
+from repro.workload.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cluster import Cluster
+
+__all__ = ["GemLockingProtocol"]
+
+
+class GemLockingProtocol(CCProtocol):
+    """Global lock table in GEM with synchronous entry accesses."""
+
+    name = "gem"
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.gem = cluster.gem
+        self.detector = cluster.detector
+        self.glt = LockTable("glt")
+        self.lock_wait_time = Tally("gem.lock_wait")
+        self.page_request_delay = Tally("gem.page_request_delay")
+        self.page_requests = 0
+        self.page_requests_failed = 0
+        self.authorized_lock_requests = 0
+        self.authorization_revocations = 0
+        for node in cluster.nodes:
+            node.register_handler("page_req", self._handle_page_request)
+            node.register_handler("glt_revoke", self._handle_authorization_revoke)
+            #: Pages this node holds a sole-interest lock authorization
+            #: for (section 2's refinement; config.gem_lock_authorizations).
+            node.gem_auth = set()
+
+    # -- GEM entry access helper --------------------------------------------
+
+    def _entry_ops(self, node_id: int, count: int) -> Generator[Event, Any, None]:
+        """``count`` synchronous GLT entry accesses, CPU held throughout."""
+        cpu = self.cluster.nodes[node_id].cpu
+        yield cpu.request()
+        try:
+            yield cpu.busy_work(count * self.config.instructions_per_gem_entry_op)
+            yield from self.gem.access_entries(count)
+        finally:
+            cpu.release()
+
+    # -- lock acquisition ------------------------------------------------------
+
+    def acquire(
+        self,
+        txn: Transaction,
+        page: PageId,
+        write: bool,
+        cached_version: Optional[int],
+    ) -> Generator[Event, Any, LockGrant]:
+        node_id = txn.node
+        node = self.cluster.nodes[node_id]
+        mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
+        authorized = (
+            self.config.gem_lock_authorizations and page in node.gem_auth
+        )
+        if authorized:
+            # Sole-interest refinement (section 2): the local lock
+            # manager processes the request without any GEM access.
+            self.authorized_lock_requests += 1
+            yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        else:
+            # Read the GLT entry and write back the updated value
+            # (grant registered, or wait registered on conflict).
+            yield from self._entry_ops(node_id, 2)
+            if self.config.gem_lock_authorizations:
+                holder = next(iter(self.glt.entry(page).auth_nodes), None)
+                if holder is not None and holder != node_id:
+                    yield from self._revoke_authorization(node, page, holder)
+        wait_event = self.sim.event()
+        txn_id = txn.txn_id
+
+        def on_grant() -> None:
+            self.detector.clear(txn_id)
+            wait_event.succeed()
+
+        granted = self.glt.request(txn_id, page, mode, on_grant)
+        if not granted:
+            blocked_at = self.sim.now
+
+            def abort_victim() -> None:
+                self.glt.cancel(txn_id, page)
+                wait_event.fail(TransactionAborted(txn_id))
+
+            self.detector.register_block(txn_id, self.glt, abort_victim)
+            yield wait_event  # raises TransactionAborted if chosen victim
+            self.lock_wait_time.record(self.sim.now - blocked_at)
+            if not authorized:
+                # Re-read the entry after wake-up to observe the grant.
+                yield from self._entry_ops(node_id, 1)
+        txn.held_locks[page] = write or txn.held_locks.get(page, False)
+        txn.local_lock_requests += 1
+        entry = self.glt.entry(page)
+        if (
+            self.config.gem_lock_authorizations
+            and not authorized
+            and len(entry.holders) == 1
+            and not entry.queue
+        ):
+            # Sole interest: authorize this node's local lock manager.
+            entry.auth_nodes.clear()
+            entry.auth_nodes.add(node_id)
+            node.gem_auth.add(page)
+        owner = entry.owner
+        if self.config.noforce and owner is not None and owner != node_id:
+            return LockGrant(
+                entry.seqno, source=PageSource.OWNER, owner_node=owner, local=True
+            )
+        return LockGrant(entry.seqno, source=PageSource.STORAGE, local=True)
+
+    # -- NOFORCE page transfers ---------------------------------------------
+
+    def request_page_from_owner(
+        self, txn: Transaction, page: PageId, grant: LockGrant
+    ) -> Generator[Event, Any, Optional[int]]:
+        """Fetch the current page version from the owning node's buffer."""
+        assert grant.owner_node is not None
+        self.page_requests += 1
+        started = self.sim.now
+        if self.config.page_transfer_via_gem:
+            version = yield from self._page_transfer_via_gem(txn, page, grant)
+        else:
+            node = self.cluster.nodes[txn.node]
+            reply = self.sim.event()
+            yield from node.comm.send(
+                grant.owner_node,
+                "page_req",
+                {"page": page, "reply": reply, "requester": txn.node},
+            )
+            payload = yield reply
+            version = payload.get("version")
+        if version is None:
+            self.page_requests_failed += 1
+        else:
+            self.page_request_delay.record(self.sim.now - started)
+        return version
+
+    def _revoke_authorization(
+        self, node, page: PageId, holder: int
+    ) -> Generator[Event, Any, None]:
+        """Another node holds the lock authorization: revoke it.
+
+        The holder flushes its local lock state to the GLT (two entry
+        accesses) and acknowledges; the requester then re-reads the
+        entry (one access) before proceeding.
+        """
+        self.authorization_revocations += 1
+        ack = self.sim.event()
+        yield from node.comm.send(
+            holder,
+            "glt_revoke",
+            {"page": page, "ack": ack, "requester": node.node_id},
+        )
+        yield ack
+        yield from self._entry_ops(node.node_id, 1)
+
+    def _handle_authorization_revoke(self, node: "Node", payload: dict):
+        page = payload["page"]
+        node.gem_auth.discard(page)
+        entry = self.glt.peek(page)
+        if entry is not None:
+            entry.auth_nodes.discard(node.node_id)
+        # Flush the locally processed lock state back to the GLT.
+        yield from self._entry_ops(node.node_id, 2)
+        yield from node.comm.send(
+            payload["requester"], "glt_revoke_ack", {}, reply_event=payload["ack"]
+        )
+
+    def _handle_page_request(self, node: "Node", payload: dict):
+        """Owner-side handler: return the buffered page, if still owned."""
+        page = payload["page"]
+        reply: Event = payload["reply"]
+        version = node.buffer.cached_version(page)
+        yield from node.comm.send(
+            payload["requester"],
+            "page_rsp",
+            {"version": version},
+            long=version is not None,
+            reply_event=reply,
+        )
+
+    def _page_transfer_via_gem(
+        self, txn: Transaction, page: PageId, grant: LockGrant
+    ) -> Generator[Event, Any, Optional[int]]:
+        """Extension: exchange the page through GEM instead of messages.
+
+        The owner writes the page to a GEM exchange buffer, the
+        requester reads it: two synchronous GEM page accesses plus the
+        GEM I/O initiation overhead on both sides, coordinated through
+        one entry access each -- far cheaper than 2 x 8000 instructions
+        of message overhead.
+        """
+        owner_node = self.cluster.nodes[grant.owner_node]
+        version = owner_node.buffer.cached_version(page)
+        if version is None:
+            return None
+        # Owner side: initiate + write page to GEM (charged to owner).
+        owner_cpu = owner_node.cpu
+        yield owner_cpu.request()
+        try:
+            yield owner_cpu.busy_work(self.config.instructions_per_gem_io)
+            yield from self.gem.access_page()
+        finally:
+            owner_cpu.release()
+        # Requester side: read page from GEM.
+        cpu = self.cluster.nodes[txn.node].cpu
+        yield cpu.request()
+        try:
+            yield cpu.busy_work(self.config.instructions_per_gem_io)
+            yield from self.gem.access_page()
+        finally:
+            cpu.release()
+        return version
+
+    # -- release ---------------------------------------------------------------
+
+    def commit_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        node_id = txn.node
+        node = self.cluster.nodes[node_id]
+        for page in list(txn.held_locks):
+            authorized = (
+                self.config.gem_lock_authorizations and page in node.gem_auth
+            )
+            if authorized:
+                yield from node.cpu.consume(self.config.instructions_per_lock_op)
+            else:
+                yield from self._entry_ops(node_id, 2)
+            entry = self.glt.entry(page)
+            new_version = txn.modified.get(page)
+            if new_version is not None:
+                entry.seqno = new_version
+                entry.owner = node_id if self.config.noforce else None
+            granted = self.glt.release(txn.txn_id, page)
+            if granted and not authorized:
+                # One grant-notification entry write per woken waiter.
+                yield from self._entry_ops(node_id, len(granted))
+        txn.held_locks.clear()
+
+    def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        node_id = txn.node
+        node = self.cluster.nodes[node_id]
+        for page in list(txn.held_locks):
+            authorized = (
+                self.config.gem_lock_authorizations and page in node.gem_auth
+            )
+            if authorized:
+                yield from node.cpu.consume(self.config.instructions_per_lock_op)
+            else:
+                yield from self._entry_ops(node_id, 2)
+            granted = self.glt.release(txn.txn_id, page)
+            if granted and not authorized:
+                yield from self._entry_ops(node_id, len(granted))
+        txn.held_locks.clear()
+
+    # -- write-back hook ----------------------------------------------------------
+
+    def page_written_back(
+        self, node_id: int, page: PageId, version: int
+    ) -> Generator[Event, Any, None]:
+        """Clear page ownership after a committed dirty page reached disk."""
+        if self.config.force:
+            return
+        entry = self.glt.peek(page)
+        if entry is None:
+            return
+        yield from self._entry_ops(node_id, 2)
+        if entry.owner == node_id and entry.seqno == version:
+            entry.owner = None
+
+    # -- statistics -------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.lock_wait_time.reset()
+        self.page_request_delay.reset()
+        self.page_requests = 0
+        self.page_requests_failed = 0
+        self.glt.requests = 0
+        self.glt.immediate_grants = 0
+        self.glt.waits = 0
+        self.authorized_lock_requests = 0
+        self.authorization_revocations = 0

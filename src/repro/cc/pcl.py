@@ -1,0 +1,393 @@
+"""Loose coupling: primary copy locking (PCL).
+
+The database is logically partitioned; each node holds the **global
+lock authority (GLA)** for one partition (section 3.2, [Ra86]).  Lock
+requests against the local GLA partition are processed without
+communication; other requests travel as messages to the authorized
+node.  Coherency control is integrated:
+
+* page sequence numbers held at the GLA detect buffer invalidations
+  with no extra messages;
+* under NOFORCE the GLA node doubles as the **page owner** for its
+  partition: a page modified elsewhere is returned to the GLA *with*
+  the lock release message (no extra message), and the GLA supplies
+  the current page version *with* the lock grant message when the
+  requester's copy is stale or missing (long instead of short reply,
+  but no extra message round);
+* consequently the current version of a page is always available at
+  the GLA node or in the permanent database.
+
+The optional **read optimization** ([Ra86, Ra91b], enabled by
+``config.pcl_read_optimization`` and used for the paper's trace
+experiments) grants nodes *read authorizations*: once a node obtained
+an S lock with authorization, later S locks (and their releases) on
+that page are processed locally without messages until a write lock
+anywhere revokes the authorizations with an explicit revoke/ack
+message exchange.
+
+Modelling notes (see DESIGN.md):  authorized local S locks are
+registered directly in the GLA's lock table at zero message cost so
+that global deadlock detection sees them; revoke/ack message costs are
+charged when an X lock is granted over outstanding authorizations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.cc.base import CCProtocol, LockGrant, PageSource
+from repro.db.pages import PageId
+from repro.errors import TransactionAborted
+from repro.node.lock_table import LockMode, LockTable
+from repro.sim.engine import Event
+from repro.sim.stats import Tally
+from repro.workload.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.node import Node
+    from repro.system.cluster import Cluster
+
+__all__ = ["PrimaryCopyProtocol"]
+
+
+class PrimaryCopyProtocol(CCProtocol):
+    """Primary copy locking with integrated coherency control."""
+
+    name = "pcl"
+
+    def __init__(self, cluster: "Cluster", gla_map: Callable[[PageId], int]):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.detector = cluster.detector
+        self.gla_map = gla_map
+        self.tables: List[LockTable] = [
+            LockTable(f"gla{n}") for n in range(cluster.config.num_nodes)
+        ]
+        self.lock_wait_time = Tally("pcl.lock_wait")
+        self.remote_grant_delay = Tally("pcl.remote_grant_delay")
+        self.local_lock_requests = 0
+        self.remote_lock_requests = 0
+        self.auth_read_locks = 0
+        self.pages_supplied_with_grant = 0
+        self.pages_shipped_with_release = 0
+        self.revocations = 0
+        for node in cluster.nodes:
+            node.register_handler("lock_req", self._handle_lock_request)
+            node.register_handler("release", self._handle_release)
+            node.register_handler("revoke", self._handle_revoke)
+            #: page -> True while this node holds a read authorization.
+            node.auth_cache = {}
+
+    # -- core lock acquisition -------------------------------------------
+
+    def acquire(
+        self,
+        txn: Transaction,
+        page: PageId,
+        write: bool,
+        cached_version: Optional[int],
+    ) -> Generator[Event, Any, LockGrant]:
+        node_id = txn.node
+        gla = self.gla_map(page)
+        mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
+        if gla == node_id:
+            grant = yield from self._acquire_local(txn, page, mode)
+            return grant
+        node = self.cluster.nodes[node_id]
+        if (
+            not write
+            and self.config.pcl_read_optimization
+            and page in node.auth_cache
+        ):
+            grant = yield from self._acquire_authorized_read(txn, page, gla)
+            if grant is not None:
+                return grant
+        grant = yield from self._acquire_remote(txn, page, mode, gla, cached_version)
+        return grant
+
+    def _acquire_local(
+        self, txn: Transaction, page: PageId, mode: LockMode
+    ) -> Generator[Event, Any, LockGrant]:
+        """Lock request against the node's own GLA partition."""
+        self.local_lock_requests += 1
+        txn.local_lock_requests += 1
+        node = self.cluster.nodes[txn.node]
+        table = self.tables[txn.node]
+        yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        yield from self._table_request(txn.txn_id, table, page, mode)
+        entry = table.entry(page)
+        if mode is LockMode.EXCLUSIVE:
+            yield from self._revoke_authorizations(node, page, entry, txn.node)
+        txn.held_locks[page] = (mode is LockMode.EXCLUSIVE) or txn.held_locks.get(
+            page, False
+        )
+        return LockGrant(entry.seqno, source=PageSource.STORAGE, local=True)
+
+    def _acquire_authorized_read(
+        self, txn: Transaction, page: PageId, gla: int
+    ) -> Generator[Event, Any, Optional[LockGrant]]:
+        """Read lock processed locally under a read authorization.
+
+        Returns None when the local copy is not current (the page must
+        then be obtained from the GLA anyway, so the normal remote
+        request is used instead).
+        """
+        node = self.cluster.nodes[txn.node]
+        table = self.tables[gla]
+        already_held = table.holds(txn.txn_id, page) is not None
+        yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        yield from self._table_request(txn.txn_id, table, page, LockMode.SHARED)
+        entry = table.entry(page)
+        if not node.buffer.has_current_version(page, entry.seqno):
+            # Copy missing or stale: fall back to a remote request
+            # (which may ship the page with the grant).  Only drop the
+            # registration if it was freshly acquired here -- a lock
+            # held from an earlier access must stay (strict 2PL).
+            if not already_held:
+                table.release(txn.txn_id, page)
+            return None
+        self.auth_read_locks += 1
+        self.local_lock_requests += 1
+        txn.local_lock_requests += 1
+        txn.held_locks[page] = txn.held_locks.get(page, False)
+        txn.auth_read_pages.add(page)
+        return LockGrant(entry.seqno, source=PageSource.STORAGE, local=True)
+
+    def _acquire_remote(
+        self,
+        txn: Transaction,
+        page: PageId,
+        mode: LockMode,
+        gla: int,
+        cached_version: Optional[int],
+    ) -> Generator[Event, Any, LockGrant]:
+        """Lock request to a remote GLA node via message exchange."""
+        self.remote_lock_requests += 1
+        txn.remote_lock_requests += 1
+        node = self.cluster.nodes[txn.node]
+        started = self.sim.now
+        reply = self.sim.event()
+        yield from node.comm.send(
+            gla,
+            "lock_req",
+            {
+                "txn_id": txn.txn_id,
+                "page": page,
+                "mode": mode,
+                "cached_version": cached_version,
+                "requester": txn.node,
+                "reply": reply,
+            },
+        )
+        payload = yield reply
+        self.remote_grant_delay.record(self.sim.now - started)
+        if payload.get("aborted"):
+            raise TransactionAborted(txn.txn_id)
+        txn.held_locks[page] = (mode is LockMode.EXCLUSIVE) or txn.held_locks.get(
+            page, False
+        )
+        if mode is LockMode.EXCLUSIVE:
+            # An upgrade supersedes any read-authorization coverage:
+            # the release must now reach the GLA (it carries the page).
+            txn.auth_read_pages.discard(page)
+        if payload.get("auth"):
+            node.auth_cache[page] = True
+        seqno = payload["seqno"]
+        if payload.get("supplied"):
+            self.pages_supplied_with_grant += 1
+            return LockGrant(
+                seqno, source=PageSource.SUPPLIED, local=False, page_supplied=True
+            )
+        return LockGrant(seqno, source=PageSource.STORAGE, local=False)
+
+    def _handle_lock_request(self, node: "Node", payload: Dict[str, Any]):
+        """GLA-side processing of a remote lock request."""
+        txn_id = payload["txn_id"]
+        page = payload["page"]
+        mode: LockMode = payload["mode"]
+        requester: int = payload["requester"]
+        reply: Event = payload["reply"]
+        table = self.tables[node.node_id]
+        yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        try:
+            yield from self._table_request(txn_id, table, page, mode)
+        except TransactionAborted:
+            yield from node.comm.send(
+                requester, "lock_rsp", {"aborted": True}, reply_event=reply
+            )
+            return
+        entry = table.entry(page)
+        if mode is LockMode.EXCLUSIVE:
+            yield from self._revoke_authorizations(node, page, entry, requester)
+        seqno = entry.seqno
+        # The grant carries the page exactly when the permanent
+        # database cannot serve it: the GLA holds a dirty current copy
+        # (NOFORCE) and the requester's copy is stale or missing.
+        # Clean copies imply the permanent database is current, so the
+        # requester reads storage as usual.
+        supplied = (
+            self.config.noforce
+            and payload["cached_version"] != seqno
+            and node.buffer.has_current_dirty(page, seqno)
+        )
+        auth = self.config.pcl_read_optimization and mode is LockMode.SHARED
+        if auth:
+            entry.auth_nodes.add(requester)
+        yield from node.comm.send(
+            requester,
+            "lock_rsp",
+            {"seqno": seqno, "supplied": supplied, "auth": auth},
+            long=supplied,
+            reply_event=reply,
+        )
+
+    def _table_request(
+        self, txn_id: int, table: LockTable, page: PageId, mode: LockMode
+    ) -> Generator[Event, Any, None]:
+        """Request a lock in ``table``, waiting (with deadlock handling)."""
+        wait_event = self.sim.event()
+
+        def on_grant() -> None:
+            self.detector.clear(txn_id)
+            wait_event.succeed()
+
+        if table.request(txn_id, page, mode, on_grant):
+            return
+        blocked_at = self.sim.now
+
+        def abort_victim() -> None:
+            table.cancel(txn_id, page)
+            wait_event.fail(TransactionAborted(txn_id))
+
+        self.detector.register_block(txn_id, table, abort_victim)
+        yield wait_event  # raises TransactionAborted if chosen as victim
+        self.lock_wait_time.record(self.sim.now - blocked_at)
+
+    # -- read-authorization revocation ---------------------------------------
+
+    def _revoke_authorizations(
+        self, gla_node: "Node", page: PageId, entry, requester: int
+    ) -> Generator[Event, Any, None]:
+        """Charge revoke/ack exchanges for outstanding authorizations.
+
+        The X lock is already granted in the GLA table (authorized
+        local S locks are registered there, so the wait for conflicting
+        readers happened in the table); what remains is the message
+        cost of invalidating the authorizations.
+        """
+        targets = [n for n in entry.auth_nodes if n != requester]
+        if not targets:
+            return
+        acks = []
+        for target in targets:
+            self.revocations += 1
+            ack = self.sim.event()
+            yield from gla_node.comm.send(
+                target, "revoke", {"page": page, "ack": ack, "gla": gla_node.node_id}
+            )
+            acks.append(ack)
+        yield self.sim.all_of(acks)
+        entry.auth_nodes.difference_update(targets)
+
+    def _handle_revoke(self, node: "Node", payload: Dict[str, Any]):
+        """Authorization-holder side: drop the authorization and ack."""
+        node.auth_cache.pop(payload["page"], None)
+        yield from node.comm.send(
+            payload["gla"], "revoke_ack", {}, reply_event=payload["ack"]
+        )
+
+    # -- release ------------------------------------------------------------------
+
+    def commit_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        yield from self._release(txn, commit=True)
+
+    def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        yield from self._release(txn, commit=False)
+
+    def _release(self, txn: Transaction, commit: bool) -> Generator[Event, Any, None]:
+        node = self.cluster.nodes[txn.node]
+        remote_groups: Dict[int, List[Tuple[PageId, Optional[int]]]] = {}
+        for page in list(txn.held_locks):
+            new_version = txn.modified.get(page) if commit else None
+            gla = self.gla_map(page)
+            if gla == txn.node:
+                self._apply_release(node, txn.txn_id, page, new_version)
+            elif page in txn.auth_read_pages:
+                # Covered by a read authorization: release locally, no
+                # message to the GLA.
+                self.tables[gla].release(txn.txn_id, page)
+            else:
+                remote_groups.setdefault(gla, []).append((page, new_version))
+        txn.held_locks.clear()
+        txn.auth_read_pages.clear()
+        for gla, pages in remote_groups.items():
+            modified = [(p, v) for p, v in pages if v is not None]
+            long = self.config.noforce and bool(modified)
+            if long:
+                self.pages_shipped_with_release += len(modified)
+                # The shipped pages are no longer this node's write
+                # responsibility -- the GLA becomes the owner.
+                for page, version in modified:
+                    node.buffer.mark_clean(page, version)
+            yield from node.comm.send(
+                gla,
+                "release",
+                {"txn_id": txn.txn_id, "pages": pages, "carry_pages": long},
+                long=long,
+            )
+
+    def _apply_release(
+        self, gla_node: "Node", txn_id: int, page: PageId, new_version: Optional[int]
+    ) -> None:
+        """Release one lock at its GLA and publish the new seqno."""
+        table = self.tables[gla_node.node_id]
+        entry = table.entry(page)
+        if new_version is not None:
+            entry.seqno = new_version
+        table.release(txn_id, page)
+
+    def _handle_release(self, node: "Node", payload: Dict[str, Any]):
+        """GLA-side processing of a (possibly page-carrying) release."""
+        txn_id = payload["txn_id"]
+        for page, new_version in payload["pages"]:
+            if new_version is not None and payload["carry_pages"]:
+                # NOFORCE: the modified page travelled with the release
+                # and the GLA takes over ownership (buffers it dirty).
+                yield from node.buffer.insert_received_page(
+                    page, new_version, dirty=True
+                )
+            self._apply_release(node, txn_id, page, new_version)
+
+    # -- hooks ------------------------------------------------------------------
+
+    def request_page_from_owner(self, txn, page, grant):  # pragma: no cover
+        raise RuntimeError("PCL never fetches pages from an owner node")
+        yield  # unreachable; makes this a generator
+
+    def page_written_back(
+        self, node_id: int, page: PageId, version: int
+    ) -> Generator[Event, Any, None]:
+        """No GLA action: the authority keeps coherency responsibility."""
+        return
+        yield  # pragma: no cover
+
+    # -- statistics ----------------------------------------------------------------
+
+    def local_share(self) -> float:
+        total = self.local_lock_requests + self.remote_lock_requests
+        return self.local_lock_requests / total if total else 1.0
+
+    def reset_stats(self) -> None:
+        self.lock_wait_time.reset()
+        self.remote_grant_delay.reset()
+        self.local_lock_requests = 0
+        self.remote_lock_requests = 0
+        self.auth_read_locks = 0
+        self.pages_supplied_with_grant = 0
+        self.pages_shipped_with_release = 0
+        self.revocations = 0
+        for table in self.tables:
+            table.requests = 0
+            table.immediate_grants = 0
+            table.waits = 0

@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro run ...          # simulate one configuration
+    python -m repro experiments ...  # regenerate tables/figures
+    python -m repro trace-gen ...    # generate a synthetic trace file
+    python -m repro predict ...      # operational-law predictions
+
+Run ``python -m repro <subcommand> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import predict_debit_credit
+from repro.system.config import SystemConfig, TraceWorkloadConfig
+from repro.system.runner import run_simulation
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--coupling", choices=["gem", "pcl"], default="gem")
+    parser.add_argument(
+        "--routing", choices=["affinity", "random"], default="affinity"
+    )
+    parser.add_argument(
+        "--update", choices=["noforce", "force"], default="noforce"
+    )
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="arrival rate per node [TPS]")
+    parser.add_argument("--buffer", type=int, default=200,
+                        help="database buffer pages per node")
+    parser.add_argument("--workload", choices=["debit_credit", "trace"],
+                        default="debit_credit")
+    parser.add_argument("--trace-scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--warmup", type=float, default=2.0)
+    parser.add_argument("--measure", type=float, default=8.0)
+
+
+def _config_from_args(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(
+        num_nodes=args.nodes,
+        coupling=args.coupling,
+        routing=args.routing,
+        update_strategy=args.update,
+        arrival_rate_per_node=args.rate,
+        buffer_pages_per_node=args.buffer,
+        workload=args.workload,
+        trace=TraceWorkloadConfig(scale=args.trace_scale),
+        pcl_read_optimization=(
+            args.coupling == "pcl" and args.workload == "trace"
+        ),
+        random_seed=args.seed,
+        warmup_time=args.warmup,
+        measure_time=args.measure,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_simulation(_config_from_args(args))
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+    else:
+        print(result.summary())
+        print("hit ratios: "
+              + ", ".join(f"{k}={v:.0%}" for k, v in result.hit_ratios.items()))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.common import Scale
+    from repro.experiments.run_all import FIGURES, run_all
+
+    scales = {"quick": Scale.quick, "smoke": Scale.smoke, "full": Scale.full}
+    scale = scales[args.scale]()
+    if args.figure == "all":
+        run_all(scale, args.outdir)
+        return 0
+    modules = dict(FIGURES)
+    if args.figure == "table41":
+        from repro.experiments import table41
+
+        anchor = table41.run(scale)
+        print(anchor.summary())
+        for check, ok in table41.validate(anchor).items():
+            print(f"  {'PASS' if ok else 'FAIL'}  {check}")
+        return 0
+    if args.figure not in modules:
+        print(f"unknown figure {args.figure!r}", file=sys.stderr)
+        return 2
+    print(modules[args.figure].run(scale).table())
+    return 0
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    from repro.workload.tracegen import main as tracegen_main
+
+    return tracegen_main(
+        [args.output, "--scale", str(args.scale), "--seed", str(args.seed)]
+    )
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    prediction = predict_debit_credit(config)
+    for key, value in prediction.as_dict().items():
+        print(f"{key:<24} {value:,.4g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Closely coupled database sharing simulation (Rahm, ICDCS 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate one configuration")
+    _add_config_arguments(run_parser)
+    run_parser.add_argument("--json", action="store_true")
+    run_parser.set_defaults(func=_cmd_run)
+
+    exp_parser = sub.add_parser("experiments", help="regenerate tables/figures")
+    exp_parser.add_argument(
+        "figure",
+        help="table41, fig41..fig47, or 'all'",
+    )
+    exp_parser.add_argument(
+        "--scale", choices=["quick", "smoke", "full"], default="quick"
+    )
+    exp_parser.add_argument("--outdir", default="results")
+    exp_parser.set_defaults(func=_cmd_experiments)
+
+    trace_parser = sub.add_parser("trace-gen", help="generate a trace file")
+    trace_parser.add_argument("output")
+    trace_parser.add_argument("--scale", type=float, default=1.0)
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.set_defaults(func=_cmd_trace_gen)
+
+    predict_parser = sub.add_parser(
+        "predict", help="operational-law predictions for a configuration"
+    )
+    _add_config_arguments(predict_parser)
+    predict_parser.set_defaults(func=_cmd_predict)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Database model: partitions, pages and version bookkeeping.
+
+The paper's database model is page-oriented: a database is a set of
+*partitions* (files); each partition consists of pages; each page holds
+``blocking_factor`` records.  Concurrency control operates on pages,
+which permits the integrated treatment of concurrency and coherency
+control that the paper studies.
+
+:mod:`repro.db.pages` adds a :class:`~repro.db.pages.VersionLedger`
+that tracks the globally committed version and the on-storage version
+of every page.  The ledger is the simulation's ground truth used to
+*verify* coherency: a transaction that would read a stale page version
+raises :class:`~repro.db.pages.CoherencyError` instead of silently
+producing wrong results.
+"""
+
+from repro.db.pages import CoherencyError, PageId, VersionLedger
+from repro.db.schema import Database, Partition, StorageKind
+
+__all__ = [
+    "CoherencyError",
+    "Database",
+    "PageId",
+    "Partition",
+    "StorageKind",
+    "VersionLedger",
+]

@@ -1,0 +1,149 @@
+"""Partitions and databases.
+
+A :class:`Partition` corresponds to one database file in the paper's
+model (e.g. the clustered BRANCH/TELLER file, the ACCOUNT file, the
+HISTORY file, or one of the thirteen files of the trace workload).
+Partitions are the unit of storage allocation (disk, disk + cache, or
+GEM-resident) and the unit for which locking can be switched off
+(HISTORY accesses are latch-protected in the paper and set no locks).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["StorageKind", "Partition", "Database"]
+
+
+class StorageKind(str, enum.Enum):
+    """Where a partition's permanent pages live (section 3.3)."""
+
+    #: Conventional magnetic disks, no cache.
+    DISK = "disk"
+    #: Disks behind a volatile disk cache (read caching only).
+    DISK_VOLATILE_CACHE = "disk_vcache"
+    #: Disks behind a non-volatile disk cache (read + write caching,
+    #: asynchronous destage to disk).
+    DISK_NONVOLATILE_CACHE = "disk_nvcache"
+    #: Disks with a GEM write buffer (section 2's third usage form):
+    #: writes become synchronous GEM accesses and are destaged to disk
+    #: asynchronously; reads go to the disks.
+    DISK_GEM_WRITE_BUFFER = "disk_gem_wbuf"
+    #: File resident in Global Extended Memory.
+    GEM = "gem"
+
+
+class Partition:
+    """A database file.
+
+    Parameters
+    ----------
+    name:
+        Human-readable file name (e.g. ``"ACCOUNT"``).
+    index:
+        Small integer identifying the partition inside its database;
+        page ids are ``(index, page_no)`` tuples.
+    num_pages:
+        Number of pages, or ``None`` for an unbounded sequential file
+        (HISTORY grows forever; only the append cursor matters).
+    blocking_factor:
+        Records per page.
+    lockable:
+        If false, no page locks are acquired for this partition (the
+        paper switches locking off for HISTORY, assuming latches).
+    storage:
+        Storage allocation for the permanent copy of the file.
+    disks:
+        Number of disk drives the file is declustered over (ignored for
+        GEM-resident files).
+    cache_pages:
+        Capacity of the disk cache in pages (only used for the two
+        cached storage kinds).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        num_pages: Optional[int],
+        blocking_factor: int = 1,
+        lockable: bool = True,
+        storage: StorageKind = StorageKind.DISK,
+        disks: int = 1,
+        cache_pages: int = 0,
+    ):
+        if num_pages is not None and num_pages <= 0:
+            raise ValueError("num_pages must be positive or None")
+        if blocking_factor <= 0:
+            raise ValueError("blocking_factor must be positive")
+        if disks <= 0:
+            raise ValueError("disks must be positive")
+        self.name = name
+        self.index = index
+        self.num_pages = num_pages
+        self.blocking_factor = blocking_factor
+        self.lockable = lockable
+        self.storage = StorageKind(storage)
+        self.disks = disks
+        self.cache_pages = cache_pages
+
+    def page_of_record(self, record_no: int) -> int:
+        """Page number holding ``record_no`` (0-based, clustered layout)."""
+        if record_no < 0:
+            raise ValueError("record_no must be non-negative")
+        return record_no // self.blocking_factor
+
+    def page_id(self, page_no: int) -> Tuple[int, int]:
+        """Global page id of page ``page_no`` of this partition."""
+        if page_no < 0:
+            raise ValueError("page_no must be non-negative")
+        if self.num_pages is not None and page_no >= self.num_pages:
+            raise ValueError(
+                f"page {page_no} out of range for {self.name!r} "
+                f"({self.num_pages} pages)"
+            )
+        return (self.index, page_no)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Partition({self.name!r}, index={self.index}, pages={self.num_pages}, "
+            f"bf={self.blocking_factor}, storage={self.storage.value})"
+        )
+
+
+class Database:
+    """An ordered collection of partitions with name lookup."""
+
+    def __init__(self, partitions: Iterable[Partition]):
+        self.partitions: List[Partition] = list(partitions)
+        self._by_name: Dict[str, Partition] = {}
+        for partition in self.partitions:
+            if partition.name in self._by_name:
+                raise ValueError(f"duplicate partition name {partition.name!r}")
+            self._by_name[partition.name] = partition
+        for expected_index, partition in enumerate(self.partitions):
+            if partition.index != expected_index:
+                raise ValueError(
+                    f"partition {partition.name!r} has index {partition.index}, "
+                    f"expected {expected_index}"
+                )
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __getitem__(self, name: str) -> Partition:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def by_index(self, index: int) -> Partition:
+        return self.partitions[index]
+
+    def total_pages(self) -> int:
+        """Total pages over all bounded partitions."""
+        return sum(p.num_pages for p in self.partitions if p.num_pages is not None)

@@ -1,0 +1,24 @@
+"""External device models (section 3.3 of the paper).
+
+All storage units are modelled as queued servers:
+
+* :class:`~repro.devices.gem.GemDevice` -- the Global Extended Memory:
+  a shared server with distinct service times for page and entry
+  accesses.  GEM accesses are *synchronous*: the accessing CPU is held
+  for the full access including any queuing at the GEM server.
+* :class:`~repro.devices.disk.DiskArray` -- a declustered set of disks
+  with controllers, optionally fronted by a volatile or non-volatile
+  LRU disk cache with asynchronous destage.
+* :class:`~repro.devices.network.Network` -- the interconnection
+  network, a shared server with fixed transmission bandwidth.
+* :class:`~repro.devices.storage.StorageDirectory` -- maps partitions
+  to their devices and provides the read/write entry points used by
+  the buffer managers.
+"""
+
+from repro.devices.disk import DiskArray
+from repro.devices.gem import GemDevice
+from repro.devices.network import Network
+from repro.devices.storage import StorageDirectory
+
+__all__ = ["DiskArray", "GemDevice", "Network", "StorageDirectory"]

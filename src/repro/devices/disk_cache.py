@@ -1,0 +1,115 @@
+"""LRU disk cache shared by the disks of one array.
+
+Management follows the realization of commercial (IBM) disk caches the
+paper cites [Gr89]:
+
+* LRU page replacement.
+* A **volatile** cache avoids the disk access for read hits; writes go
+  through to disk (refreshing a cached copy so the cache never serves
+  stale data).
+* A **non-volatile** cache additionally satisfies *all* writes in the
+  cache and updates the disk copy asynchronously (destage).
+
+Because the simulation carries versions in the global ledger rather
+than page contents, the cache itself only tracks presence, recency and
+dirtiness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.db.pages import PageId
+
+__all__ = ["DiskCache"]
+
+
+class DiskCache:
+    """An LRU set of cached pages with dirty tracking.
+
+    ``capacity`` of 0 disables the cache (every lookup misses).
+    """
+
+    def __init__(self, capacity: int, nonvolatile: bool):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.nonvolatile = nonvolatile
+        self._entries: "OrderedDict[PageId, bool]" = OrderedDict()  # page -> dirty
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page: PageId) -> bool:
+        return page in self._entries
+
+    def is_dirty(self, page: PageId) -> bool:
+        return self._entries.get(page, False)
+
+    def lookup_for_read(self, page: PageId) -> bool:
+        """Return True on a read hit (and touch the entry)."""
+        if self.capacity and page in self._entries:
+            self._entries.move_to_end(page)
+            self.read_hits += 1
+            return True
+        self.read_misses += 1
+        return False
+
+    def insert(self, page: PageId, dirty: bool = False) -> Optional[PageId]:
+        """Insert (or refresh) ``page``; return an evicted page or None.
+
+        Evicting a dirty page is safe for durability because dirty
+        pages are enqueued for destage at write time; the queued
+        destage still performs its disk write after eviction.
+        """
+        if not self.capacity:
+            return None
+        if page in self._entries:
+            # Refresh recency; dirty status is sticky until destaged.
+            self._entries[page] = self._entries[page] or dirty
+            self._entries.move_to_end(page)
+            return None
+        evicted: Optional[PageId] = None
+        if len(self._entries) >= self.capacity:
+            evicted, _dirty = self._entries.popitem(last=False)
+        self._entries[page] = dirty
+        return evicted
+
+    def note_write(self, page: PageId) -> bool:
+        """Handle a write I/O arriving at the cache.
+
+        Returns True if the write is absorbed by the cache (non-volatile
+        cache), False if it must go to disk (volatile cache or no cache).
+        A volatile cache refreshes a cached copy so it never serves a
+        stale version after the disk write completes.
+        """
+        if not self.capacity:
+            return False
+        if self.nonvolatile:
+            self.write_hits += 1
+            self.insert(page, dirty=True)
+            return True
+        if page in self._entries:
+            self._entries.move_to_end(page)
+        return False
+
+    def mark_clean(self, page: PageId) -> None:
+        """Destage completed: drop the dirty flag if still cached."""
+        if page in self._entries:
+            self._entries[page] = False
+
+    def dirty_pages(self) -> List[PageId]:
+        return [page for page, dirty in self._entries.items() if dirty]
+
+    def hit_ratio(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0

@@ -1,0 +1,70 @@
+"""Global Extended Memory device model.
+
+GEM is a non-volatile, shared semiconductor store with a page- and
+entry-oriented access interface (section 2).  Accesses are synchronous:
+the accessing node's CPU stays busy for the complete access, including
+any queuing delay at the GEM server.  The *caller* is therefore
+responsible for holding a CPU unit around :meth:`access_page` /
+:meth:`access_entry`; this module only models the GEM server itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["GemDevice"]
+
+
+class GemDevice:
+    """The shared GEM store: a multi-server queued resource.
+
+    Parameters mirror Table 4.1: one server, 50 microseconds per page
+    access, 2 microseconds per entry access.  Service times are
+    deterministic (semiconductor memory has no mechanical variance).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        servers: int = 1,
+        page_access_time: float = 50e-6,
+        entry_access_time: float = 2e-6,
+    ):
+        if page_access_time < 0 or entry_access_time < 0:
+            raise ValueError("access times must be non-negative")
+        self.sim = sim
+        self.page_access_time = page_access_time
+        self.entry_access_time = entry_access_time
+        self.server = Resource(sim, capacity=servers, name="gem")
+        self.page_accesses = 0
+        self.entry_accesses = 0
+
+    def access_page(self) -> Generator[Event, Any, None]:
+        """One synchronous page read or write (caller holds its CPU)."""
+        self.page_accesses += 1
+        yield from self.server.acquire(self.page_access_time)
+
+    def access_entry(self) -> Generator[Event, Any, None]:
+        """One synchronous entry read or Compare&Swap write."""
+        self.entry_accesses += 1
+        yield from self.server.acquire(self.entry_access_time)
+
+    def access_entries(self, count: int) -> Generator[Event, Any, None]:
+        """``count`` back-to-back entry accesses (held as one service)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self.entry_accesses += count
+        yield from self.server.acquire(count * self.entry_access_time)
+
+    def utilization(self) -> float:
+        return self.server.utilization()
+
+    def reset_stats(self) -> None:
+        self.server.reset_stats()
+        self.page_accesses = 0
+        self.entry_accesses = 0

@@ -1,0 +1,48 @@
+"""Interconnection network model.
+
+The paper models the network as a simple delay characterized by a fixed
+transmission bandwidth (section 3.3).  We model it as a single shared
+FCFS server whose service time is ``message_bytes / bandwidth``, so
+that heavy message traffic (e.g. PCL with random routing at ten nodes)
+also exhibits transmission queuing.  The dominant cost of messages --
+the CPU overhead of the communication protocol at sender and receiver
+-- is charged by :class:`~repro.node.comm.CommSubsystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Shared transmission medium with fixed bandwidth."""
+
+    def __init__(self, sim: Simulator, bandwidth: float = 10e6):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.server = Resource(sim, capacity=1, name="network")
+        self.bytes_transmitted = 0
+        self.messages = 0
+
+    def transmit(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Occupy the medium for the transmission of ``nbytes``."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self.messages += 1
+        self.bytes_transmitted += nbytes
+        yield from self.server.acquire(nbytes / self.bandwidth)
+
+    def utilization(self) -> float:
+        return self.server.utilization()
+
+    def reset_stats(self) -> None:
+        self.server.reset_stats()
+        self.bytes_transmitted = 0
+        self.messages = 0

@@ -1,0 +1,30 @@
+"""Shared exception types of the model."""
+
+from __future__ import annotations
+
+from repro.db.pages import CoherencyError
+
+__all__ = ["CoherencyError", "TransactionAborted", "BufferFullError"]
+
+
+class TransactionAborted(Exception):
+    """A transaction was chosen as a deadlock victim and must restart.
+
+    Raised at the ``yield`` where the transaction was blocked; the
+    transaction manager catches it, releases all resources and retries
+    the transaction after a back-off.
+    """
+
+    def __init__(self, txn_id: int, reason: str = "deadlock"):
+        super().__init__(f"transaction {txn_id} aborted ({reason})")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class BufferFullError(Exception):
+    """No evictable (unpinned) frame exists in a database buffer.
+
+    Indicates a mis-configured run: the buffer must be large enough to
+    pin the pages of all concurrently active transactions (the model
+    uses a no-steal policy; see DESIGN.md).
+    """

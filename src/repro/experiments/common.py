@@ -1,0 +1,131 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.system.config import SystemConfig
+from repro.system.results import RunResult
+from repro.system.runner import run_simulation
+
+__all__ = ["Scale", "Series", "ExperimentResult", "sweep", "format_table"]
+
+
+@dataclasses.dataclass
+class Scale:
+    """Run-size knobs shared by all experiments."""
+
+    #: Node counts to sweep (the paper uses 1-10; 1-8 for the trace).
+    node_counts: Sequence[int]
+    warmup_time: float
+    measure_time: float
+    #: Shrink factor for the synthetic trace (1.0 = paper size).
+    trace_scale: float
+    #: Maximum binary-search iterations for the throughput experiment.
+    throughput_iterations: int
+
+    @classmethod
+    def quick(cls) -> "Scale":
+        """CI-sized runs: the shapes hold, absolute noise is higher."""
+        return cls(
+            node_counts=(1, 2, 4, 6, 8, 10),
+            warmup_time=1.5,
+            measure_time=5.0,
+            trace_scale=0.12,
+            throughput_iterations=5,
+        )
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        """Minimal runs for tests of the harness itself."""
+        return cls(
+            node_counts=(1, 2),
+            warmup_time=0.5,
+            measure_time=1.5,
+            trace_scale=0.04,
+            throughput_iterations=2,
+        )
+
+    @classmethod
+    def full(cls) -> "Scale":
+        """Paper-sized runs (minutes of wall-clock time)."""
+        return cls(
+            node_counts=tuple(range(1, 11)),
+            warmup_time=4.0,
+            measure_time=20.0,
+            trace_scale=1.0,
+            throughput_iterations=10,
+        )
+
+
+@dataclasses.dataclass
+class Series:
+    """One curve of a figure: a label and one result per node count."""
+
+    label: str
+    points: List[Tuple[int, RunResult]] = dataclasses.field(default_factory=list)
+
+    def values(self, metric: Callable[[RunResult], float]) -> List[float]:
+        return [metric(result) for _n, result in self.points]
+
+    def value_at(self, num_nodes: int, metric: Callable[[RunResult], float]) -> float:
+        for n, result in self.points:
+            if n == num_nodes:
+                return metric(result)
+        raise KeyError(f"no point at N={num_nodes}")
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """All series of one figure plus rendering helpers."""
+
+    name: str
+    title: str
+    series: List[Series]
+    metric_label: str = "response time [ms]"
+    metric: Callable[[RunResult], float] = lambda r: r.response_time_ms
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(label)
+
+    def table(self) -> str:
+        node_counts = [n for n, _ in self.series[0].points]
+        return format_table(
+            f"{self.name}: {self.title} ({self.metric_label})",
+            node_counts,
+            {s.label: s.values(self.metric) for s in self.series},
+        )
+
+
+def sweep(
+    base_config: SystemConfig,
+    node_counts: Sequence[int],
+    label: str,
+    runner: Callable[[SystemConfig], RunResult] = run_simulation,
+) -> Series:
+    """Run ``base_config`` for each node count."""
+    series = Series(label)
+    for num_nodes in node_counts:
+        result = runner(base_config.replace(num_nodes=num_nodes))
+        series.points.append((num_nodes, result))
+    return series
+
+
+def format_table(
+    title: str, node_counts: Sequence[int], columns: Dict[str, List[float]]
+) -> str:
+    """Render a figure as an aligned text table (rows = #nodes)."""
+    labels = list(columns)
+    width = max(12, max(len(label) for label in labels) + 2)
+    header = "#nodes".rjust(8) + "".join(label.rjust(width) for label in labels)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row_index, num_nodes in enumerate(node_counts):
+        cells = "".join(
+            f"{columns[label][row_index]:>{width}.1f}" for label in labels
+        )
+        lines.append(f"{num_nodes:>8d}" + cells)
+    return "\n".join(lines)

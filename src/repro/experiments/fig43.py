@@ -1,0 +1,55 @@
+"""Fig. 4.3 -- Influence of database allocation (buffer size 1000).
+
+Allocates the hot BRANCH/TELLER partition either to disks or resident
+in GEM, for both routings; panel (a) NOFORCE, panel (b) FORCE.
+
+Expected shape (section 4.4): for NOFORCE the GEM allocation changes
+almost nothing (misses are already served by fast page requests or do
+not occur); for FORCE it improves response times substantially --
+especially with random routing, which then performs almost like
+affinity-based routing.
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import StorageKind
+from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.system.config import DebitCreditConfig, SystemConfig
+
+__all__ = ["run"]
+
+
+def config_for(update, routing, storage, scale) -> SystemConfig:
+    return SystemConfig(
+        coupling="gem",
+        routing=routing,
+        update_strategy=update,
+        buffer_pages_per_node=1000,
+        debit_credit=DebitCreditConfig(branch_teller_storage=storage),
+        warmup_time=scale.warmup_time,
+        measure_time=scale.measure_time,
+    )
+
+
+def run(scale: Scale) -> ExperimentResult:
+    series = []
+    for update in ("noforce", "force"):
+        for routing in ("affinity", "random"):
+            for storage in (StorageKind.DISK, StorageKind.GEM):
+                label = f"{update.upper()}/{routing}/{storage.value}"
+                series.append(
+                    sweep(
+                        config_for(update, routing, storage, scale),
+                        scale.node_counts,
+                        label,
+                    )
+                )
+    return ExperimentResult(
+        "Fig 4.3",
+        "BRANCH/TELLER allocation: disk vs GEM (buffer 1000)",
+        series,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(Scale.quick()).table())

@@ -1,0 +1,53 @@
+"""Fig. 4.5 -- Primary copy locking vs GEM locking (response times).
+
+All files on plain disks; curves for both couplings, both update
+strategies, both routings and both buffer sizes (200, 1000).
+
+Expected shape (section 4.5): with affinity routing PCL matches GEM
+locking (coordinated GLA allocation keeps lock processing local); with
+random routing PCL is always worse and the gap grows with the number
+of nodes; the PCL/GEM gap is smaller for NOFORCE than for FORCE and
+shrinks further at buffer 1000 (PCL piggybacks page transfers on
+regular lock messages, GEM locking pays extra page-request messages).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.system.config import SystemConfig
+
+__all__ = ["run"]
+
+
+def run(scale: Scale, buffer_sizes=(200, 1000)) -> ExperimentResult:
+    series = []
+    for buffer_pages in buffer_sizes:
+        for coupling in ("gem", "pcl"):
+            for routing in ("affinity", "random"):
+                for update in ("noforce", "force"):
+                    config = SystemConfig(
+                        coupling=coupling,
+                        routing=routing,
+                        update_strategy=update,
+                        buffer_pages_per_node=buffer_pages,
+                        warmup_time=scale.warmup_time,
+                        measure_time=scale.measure_time,
+                    )
+                    label = (
+                        f"{coupling}/{routing}/{update.upper()}/buf{buffer_pages}"
+                    )
+                    series.append(sweep(config, scale.node_counts, label))
+    return ExperimentResult(
+        "Fig 4.5",
+        "PCL vs GEM locking response times",
+        series,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    result = run(Scale.quick())
+    print(result.table())
+    for s in result.series:
+        if s.label.startswith("pcl"):
+            shares = [round(r.local_lock_share, 2) for _n, r in s.points]
+            print(f"local lock share {s.label}: {shares}")

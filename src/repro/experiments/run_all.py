@@ -1,0 +1,73 @@
+"""Run every experiment and write the tables to a results directory.
+
+Usage::
+
+    python -m repro.experiments.run_all [quick|smoke|full] [outdir]
+
+``quick`` (default) regenerates all figures in CI-sized sweeps;
+``full`` uses paper-sized runs (substantially longer).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import fig41, fig42, fig43, fig44, fig45, fig46, fig47, table41
+from repro.experiments.common import Scale
+from repro.system.config import SystemConfig
+
+__all__ = ["run_all"]
+
+FIGURES = [
+    ("fig41", fig41),
+    ("fig42", fig42),
+    ("fig43", fig43),
+    ("fig44", fig44),
+    ("fig45", fig45),
+    ("fig46", fig46),
+    ("fig47", fig47),
+]
+
+
+def run_all(scale: Scale, outdir: str) -> None:
+    os.makedirs(outdir, exist_ok=True)
+    # Table 4.1 first: parameters and the anchor run.
+    started = time.time()
+    lines = []
+    width = max(len(k) for k, _ in table41.parameter_rows(SystemConfig()))
+    for key, value in table41.parameter_rows(SystemConfig()):
+        lines.append(f"{key:<{width}}  {value}")
+    anchor = table41.run(scale)
+    lines.append("")
+    lines.append(anchor.summary())
+    for check, ok in table41.validate(anchor).items():
+        lines.append(f"  {'PASS' if ok else 'FAIL'}  {check}")
+    path = os.path.join(outdir, "table41.txt")
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print(f"table41 -> {path} ({time.time() - started:.0f}s)")
+    # All figures.
+    for name, module in FIGURES:
+        started = time.time()
+        result = module.run(scale)
+        path = os.path.join(outdir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(result.table() + "\n")
+        print(f"{name} -> {path} ({time.time() - started:.0f}s)")
+
+
+def main(argv) -> int:
+    scale_name = argv[1] if len(argv) > 1 else "quick"
+    outdir = argv[2] if len(argv) > 2 else "results"
+    factory = {"quick": Scale.quick, "smoke": Scale.smoke, "full": Scale.full}
+    if scale_name not in factory:
+        print(f"unknown scale {scale_name!r}; use quick|smoke|full")
+        return 2
+    run_all(factory[scale_name](), outdir)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv))

@@ -1,0 +1,25 @@
+"""Processing-node model (section 3.2 of the paper).
+
+A processing node consists of a transaction manager, a buffer manager,
+a concurrency-control component, a communication interface and a pool
+of CPU servers:
+
+* :class:`~repro.node.cpu.CpuPool` -- the node's CPUs (default four
+  10-MIPS processors).
+* :class:`~repro.node.buffer_manager.BufferManager` -- LRU main-memory
+  database buffer with FORCE/NOFORCE update propagation and logging.
+* :class:`~repro.node.lock_table.LockTable` -- strict two-phase lock
+  table with upgrades, used both locally (PCL global lock authorities)
+  and as the state of the global lock table in GEM.
+* :class:`~repro.node.comm.CommSubsystem` -- send/receive processing
+  with per-message CPU overhead and network transmission.
+* :class:`~repro.node.transaction_manager.TransactionManager` -- MPL
+  controlled transaction execution with two-phase commit processing.
+* :class:`~repro.node.node.Node` -- the container wiring these parts.
+"""
+
+from repro.node.cpu import CpuPool
+from repro.node.lock_table import LockMode, LockTable
+from repro.node.node import Node
+
+__all__ = ["CpuPool", "LockMode", "LockTable", "Node"]

@@ -1,0 +1,86 @@
+"""CPU server pool of a processing node.
+
+A node has ``num_cpus`` identical CPUs of ``mips`` million instructions
+per second each, modelled as a multi-server FCFS resource.  All CPU
+demand in the model -- transaction path length, message send/receive
+overhead, I/O overhead -- is expressed in instructions and converted to
+service time here.
+
+Synchronous GEM accesses keep the CPU busy for the complete access
+(section 2); model code uses :meth:`request`/:meth:`release` to hold a
+CPU unit across such a compound operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+from repro.sim.rng import Stream
+
+__all__ = ["CpuPool"]
+
+
+class CpuPool:
+    """The CPUs of one processing node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_cpus: int,
+        mips: float,
+        stream: Stream,
+        name: str = "cpu",
+    ):
+        if num_cpus < 1:
+            raise ValueError("num_cpus must be >= 1")
+        if mips <= 0:
+            raise ValueError("mips must be positive")
+        self.sim = sim
+        self.speed = mips * 1e6  # instructions per second
+        self.stream = stream
+        self.resource = Resource(sim, capacity=num_cpus, name=name)
+        self.instructions_executed = 0.0
+
+    def service_time(self, instructions: float) -> float:
+        return instructions / self.speed
+
+    def consume(self, instructions: float) -> Generator[Event, Any, None]:
+        """Execute a fixed number of instructions on one CPU."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        if instructions == 0:
+            return
+        self.instructions_executed += instructions
+        yield from self.resource.acquire(self.service_time(instructions))
+
+    def consume_exp(self, mean_instructions: float) -> Generator[Event, Any, None]:
+        """Execute an exponentially distributed number of instructions."""
+        instructions = self.stream.exponential(mean_instructions)
+        self.instructions_executed += instructions
+        if instructions:
+            yield from self.resource.acquire(self.service_time(instructions))
+
+    # -- compound operations (synchronous GEM access) -------------------
+
+    def request(self) -> Event:
+        """Acquire one CPU unit; pair with :meth:`release`."""
+        return self.resource.request()
+
+    def release(self) -> None:
+        self.resource.release()
+
+    def busy_work(self, instructions: float) -> Event:
+        """Timeout for ``instructions`` of work on an *already held* CPU."""
+        self.instructions_executed += instructions
+        return self.sim.timeout(self.service_time(instructions))
+
+    # -- statistics -----------------------------------------------------
+
+    def utilization(self) -> float:
+        return self.resource.utilization()
+
+    def reset_stats(self) -> None:
+        self.resource.reset_stats()
+        self.instructions_executed = 0.0

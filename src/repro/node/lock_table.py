@@ -1,0 +1,242 @@
+"""Strict two-phase lock table with page-level S/X locks.
+
+This pure (simulation-agnostic) data structure implements the lock
+state machine used in two places:
+
+* as the **global lock table (GLT)** held in GEM for the closely
+  coupled configurations -- the GEM protocol charges entry-access
+  delays around each operation;
+* as the **local lock table of a global lock authority (GLA)** node for
+  primary copy locking -- the PCL protocol charges messages around
+  remote operations.
+
+Grant discipline is FIFO with two classic refinements: compatible
+requests at the queue head are granted in batches, and lock *upgrades*
+(S -> X by a current holder) jump to the front of the queue.
+
+Every lock entry also carries the coherency-control metadata the paper
+stores alongside lock state: the page sequence number, the current
+page owner (NOFORCE) and read-authorization node sets (PCL read
+optimization).  Metadata persists after all locks are released.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.db.pages import PageId
+
+__all__ = ["LockMode", "LockEntry", "LockTable"]
+
+
+class LockMode(str, enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(mode: LockMode, held_modes) -> bool:
+    if mode is LockMode.SHARED:
+        return all(m is LockMode.SHARED for m in held_modes)
+    return not held_modes
+
+
+class _Request:
+    __slots__ = ("txn", "mode", "on_grant", "upgrade")
+
+    def __init__(self, txn: int, mode: LockMode, on_grant: Callable, upgrade: bool):
+        self.txn = txn
+        self.mode = mode
+        self.on_grant = on_grant
+        self.upgrade = upgrade
+
+
+class LockEntry:
+    """Lock state plus coherency metadata for one page."""
+
+    __slots__ = ("holders", "queue", "seqno", "owner", "auth_nodes")
+
+    def __init__(self):
+        self.holders: Dict[int, LockMode] = {}
+        self.queue: Deque[_Request] = deque()
+        #: Page sequence number: incremented for every modification.
+        self.seqno: int = 0
+        #: Node holding the current page copy (NOFORCE), else None.
+        self.owner: Optional[int] = None
+        #: Nodes holding a read authorization (PCL read optimization).
+        self.auth_nodes: Set[int] = set()
+
+    def is_idle(self) -> bool:
+        return not self.holders and not self.queue
+
+
+class LockTable:
+    """Lock entries for a set of pages."""
+
+    def __init__(self, name: str = "locktable"):
+        self.name = name
+        self._entries: Dict[PageId, LockEntry] = {}
+        self._blocked: Dict[int, PageId] = {}  # txn -> page it waits on
+        self.requests = 0
+        self.immediate_grants = 0
+        self.waits = 0
+
+    # -- entry access ----------------------------------------------------
+
+    def entry(self, page: PageId) -> LockEntry:
+        entry = self._entries.get(page)
+        if entry is None:
+            entry = LockEntry()
+            self._entries[page] = entry
+        return entry
+
+    def peek(self, page: PageId) -> Optional[LockEntry]:
+        return self._entries.get(page)
+
+    def holds(self, txn: int, page: PageId) -> Optional[LockMode]:
+        entry = self._entries.get(page)
+        return entry.holders.get(txn) if entry else None
+
+    def is_blocked(self, txn: int) -> bool:
+        return txn in self._blocked
+
+    def blocked_page(self, txn: int) -> Optional[PageId]:
+        return self._blocked.get(txn)
+
+    # -- locking protocol --------------------------------------------------
+
+    def request(
+        self, txn: int, page: PageId, mode: LockMode, on_grant: Callable[[], None]
+    ) -> bool:
+        """Request a lock.
+
+        Returns True if the lock was granted immediately.  Otherwise
+        the request is queued and ``on_grant`` will be invoked when the
+        lock is eventually granted.
+        """
+        if txn in self._blocked:
+            raise RuntimeError(f"txn {txn} already blocked on {self._blocked[txn]}")
+        self.requests += 1
+        entry = self.entry(page)
+        held = entry.holders.get(txn)
+        if held is not None:
+            if mode is LockMode.SHARED or held is LockMode.EXCLUSIVE:
+                # Re-request of an already covered mode.
+                self.immediate_grants += 1
+                return True
+            # Upgrade S -> X.
+            if len(entry.holders) == 1:
+                entry.holders[txn] = LockMode.EXCLUSIVE
+                self.immediate_grants += 1
+                return True
+            entry.queue.appendleft(_Request(txn, mode, on_grant, upgrade=True))
+            self._blocked[txn] = page
+            self.waits += 1
+            return False
+        if not entry.queue and _compatible(mode, entry.holders.values()):
+            entry.holders[txn] = mode
+            self.immediate_grants += 1
+            return True
+        entry.queue.append(_Request(txn, mode, on_grant, upgrade=False))
+        self._blocked[txn] = page
+        self.waits += 1
+        return False
+
+    def release(self, txn: int, page: PageId) -> List[Tuple[int, LockMode]]:
+        """Release ``txn``'s lock on ``page``.
+
+        Returns the list of ``(txn, mode)`` newly granted as a result;
+        their ``on_grant`` callbacks have already been invoked.
+        """
+        entry = self._entries.get(page)
+        if entry is None or txn not in entry.holders:
+            raise KeyError(f"txn {txn} holds no lock on page {page}")
+        del entry.holders[txn]
+        return self._promote(entry)
+
+    def release_all(self, txn: int, pages) -> List[Tuple[int, LockMode]]:
+        """Release a set of pages held by ``txn``; returns all new grants."""
+        granted: List[Tuple[int, LockMode]] = []
+        for page in pages:
+            granted.extend(self.release(txn, page))
+        return granted
+
+    def cancel(self, txn: int, page: PageId) -> List[Tuple[int, LockMode]]:
+        """Remove ``txn``'s *queued* request for ``page`` (abort path)."""
+        entry = self._entries.get(page)
+        if entry is None:
+            return []
+        for request in list(entry.queue):
+            if request.txn == txn:
+                entry.queue.remove(request)
+                break
+        else:
+            return []
+        self._blocked.pop(txn, None)
+        return self._promote(entry)
+
+    def _promote(self, entry: LockEntry) -> List[Tuple[int, LockMode]]:
+        granted: List[Tuple[int, LockMode]] = []
+        while entry.queue:
+            head = entry.queue[0]
+            if head.upgrade:
+                others = [t for t in entry.holders if t != head.txn]
+                if others:
+                    break
+                entry.holders[head.txn] = LockMode.EXCLUSIVE
+            else:
+                if not _compatible(head.mode, entry.holders.values()):
+                    break
+                entry.holders[head.txn] = head.mode
+            entry.queue.popleft()
+            self._blocked.pop(head.txn, None)
+            granted.append((head.txn, head.mode))
+            head.on_grant()
+        return granted
+
+    # -- deadlock support --------------------------------------------------
+
+    def waiting_for(self, txn: int) -> Set[int]:
+        """Transactions that ``txn`` currently waits for in this table.
+
+        A blocked transaction waits for all incompatible current
+        holders of its page plus all incompatible requests queued ahead
+        of it.
+        """
+        page = self._blocked.get(txn)
+        if page is None:
+            return set()
+        entry = self._entries[page]
+        position = None
+        my_mode = None
+        for index, request in enumerate(entry.queue):
+            if request.txn == txn:
+                position = index
+                my_mode = request.mode
+                break
+        if position is None:
+            return set()
+        blockers: Set[int] = set()
+        for holder, held_mode in entry.holders.items():
+            if holder == txn:
+                continue
+            if my_mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+                blockers.add(holder)
+        for request in list(entry.queue)[:position]:
+            if request.txn == txn:
+                continue
+            if my_mode is LockMode.EXCLUSIVE or request.mode is LockMode.EXCLUSIVE:
+                blockers.add(request.txn)
+        return blockers
+
+    # -- introspection -----------------------------------------------------
+
+    def held_pages(self, txn: int):
+        """All pages on which ``txn`` currently holds a lock (slow scan)."""
+        return [
+            page for page, entry in self._entries.items() if txn in entry.holders
+        ]
+
+    def num_entries(self) -> int:
+        return len(self._entries)

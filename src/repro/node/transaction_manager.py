@@ -1,0 +1,124 @@
+"""Transaction execution control (section 3.2).
+
+The transaction manager admits transactions up to the node's
+multiprogramming level (MPL); beyond that they wait in the input
+queue.  A transaction's execution requests CPU service at begin of
+transaction, for every record access, and at end of transaction
+(exponentially distributed instruction counts).  Each record access
+acquires the page lock from the concurrency-control protocol (unless
+already held) and drives the buffer manager.  Commit processing has
+two phases: phase 1 writes log data and -- under FORCE -- forces all
+modified pages to permanent storage; phase 2 publishes the new page
+sequence numbers and releases the locks through the protocol.
+
+Deadlock victims are rolled back, wait a short back-off, and restart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.errors import TransactionAborted
+from repro.sim.engine import Event
+from repro.workload.transaction import PageAccess, Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.node import Node
+
+__all__ = ["TransactionManager"]
+
+#: Marker page number for "append to this node's HISTORY cursor".
+HISTORY_APPEND = -1
+
+
+class TransactionManager:
+    """Executes the transactions routed to one node."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.sim = node.sim
+        self.stream = node.cluster.streams.stream(f"tm-{node.node_id}")
+        profile = node.cluster.instruction_profile
+        self.instr_bot, self.instr_per_access, self.instr_eot = profile
+
+    def submit(self, txn: Transaction) -> None:
+        """Accept a transaction from the SOURCE/router."""
+        txn.node = self.node.node_id
+        txn.arrival_time = self.sim.now
+        self.node.arrivals.increment()
+        self.sim.process(self._lifecycle(txn), name=f"txn-{txn.txn_id}")
+
+    def _lifecycle(self, txn: Transaction):
+        yield self.node.mpl.request()
+        try:
+            txn.start_time = self.sim.now
+            while True:
+                try:
+                    yield from self._execute_once(txn)
+                    break
+                except TransactionAborted:
+                    self.node.aborts.increment()
+                    txn.restarts += 1
+                    yield from self._rollback(txn)
+                    yield self.sim.timeout(self.stream.exponential(0.01))
+                    txn.reset_runtime()
+            self.node.record_completion(txn, self.sim.now - txn.arrival_time)
+        finally:
+            self.node.mpl.release()
+
+    def _execute_once(self, txn: Transaction) -> Generator[Event, Any, None]:
+        node = self.node
+        yield from node.cpu.consume_exp(self.instr_bot)
+        for access in txn.accesses:
+            self._materialize_history(access)
+            yield from node.cpu.consume_exp(self.instr_per_access)
+            grant = None
+            if access.lockable:
+                grant = yield from self._lock(txn, access)
+            yield from node.buffer.access(txn, access, grant)
+        # -- commit phase 1: log and (FORCE) force-writes ----------------
+        yield from node.cpu.consume_exp(self.instr_eot)
+        yield from node.buffer.commit_phase1(txn)
+        # The modified versions become the globally committed ones.
+        for page, version in txn.modified.items():
+            node.cluster.ledger.install_commit(page, version)
+        # -- commit phase 2: publish sequence numbers, release locks -----
+        yield from node.protocol.commit_release(txn)
+        node.buffer.finish_commit(txn)
+
+    def _lock(self, txn: Transaction, access: PageAccess):
+        """Acquire the page lock unless an adequate one is held."""
+        node = self.node
+        page = access.page
+        held = txn.held_locks.get(page)
+        if held is not None and (held or not access.write):
+            return txn.grants[page]
+        cached = node.buffer.cached_version(page)
+        if page in txn.modified:
+            # Our own modified copy is by definition current; tell the
+            # protocol the pre-modification seqno so it does not ship a
+            # page we already have.
+            cached = txn.modified[page] - 1
+        # The claimed copy must survive until the grant arrives: the
+        # protocol decides page shipping based on it (PCL), so protect
+        # it against capacity eviction for the duration of the request.
+        protected = cached is not None and node.buffer.protect(page)
+        try:
+            grant = yield from node.protocol.acquire(txn, page, access.write, cached)
+        finally:
+            if protected:
+                node.buffer.unprotect(page)
+        txn.grants[page] = grant
+        return grant
+
+    def _materialize_history(self, access: PageAccess) -> None:
+        """Resolve the per-node HISTORY append cursor on first touch."""
+        if access.page[1] == HISTORY_APPEND:
+            partition = self.node.database.by_index(access.page[0])
+            access.page = self.node.next_history_page(
+                partition.index, partition.blocking_factor
+            )
+
+    def _rollback(self, txn: Transaction) -> Generator[Event, Any, None]:
+        self.node.buffer.rollback(txn)
+        yield from self.node.protocol.abort_release(txn)

@@ -1,0 +1,20 @@
+"""Workload allocation (transaction routing) strategies.
+
+* :class:`~repro.routing.random_router.RandomRouter` -- balanced
+  round-robin assignment ("we merely ensure that every node is
+  assigned about the same number of transactions").
+* :class:`~repro.routing.affinity.AffinityRouter` -- BRANCH-based
+  partitioning of the debit-credit workload for maximum node-specific
+  locality.
+* :class:`~repro.routing.routing_table.RoutingTable` and
+  :func:`~repro.routing.routing_table.build_routing_table` -- per-type
+  routing of trace workloads computed by an affinity heuristic
+  ([Ra92b] style).
+* :mod:`~repro.routing.gla` -- GLA assignment heuristics for PCL,
+  coordinated with the routing.
+"""
+
+from repro.routing.affinity import AffinityRouter
+from repro.routing.random_router import RandomRouter
+
+__all__ = ["AffinityRouter", "RandomRouter"]

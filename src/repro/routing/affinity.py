@@ -1,0 +1,45 @@
+"""Affinity-based transaction routing.
+
+For debit-credit, a BRANCH-based partitioning of the workload gives
+every node the transactions of an equal number of branches; TELLER and
+HISTORY accesses are then completely partitioned and at most 15 % of
+the ACCOUNT accesses leave the node's partition (section 3.1).
+
+For trace workloads the affinity router delegates to a per-type
+routing table (see :mod:`repro.routing.routing_table`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.workload.transaction import Transaction
+
+__all__ = ["AffinityRouter"]
+
+
+class AffinityRouter:
+    """Routes each transaction to its home node."""
+
+    def __init__(self, home_of: Callable[[Transaction], int], num_nodes: int):
+        self.home_of = home_of
+        self.num_nodes = num_nodes
+
+    @classmethod
+    def for_debit_credit(cls, layout, num_nodes: int) -> "AffinityRouter":
+        def home_of(txn: Transaction) -> int:
+            if txn.branch is None:
+                raise ValueError("debit-credit transaction without a branch")
+            return layout.home_node(txn.branch)
+
+        return cls(home_of, num_nodes)
+
+    @classmethod
+    def from_routing_table(cls, table, num_nodes: int) -> "AffinityRouter":
+        return cls(lambda txn: table.node_for(txn.type_id), num_nodes)
+
+    def route(self, txn: Transaction) -> int:
+        node = self.home_of(txn)
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"router produced invalid node {node}")
+        return node

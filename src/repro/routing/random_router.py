@@ -1,0 +1,28 @@
+"""Random (balanced) transaction routing.
+
+The paper's random routing "merely ensures that every node is assigned
+about the same number of transactions to support load balancing"; a
+round-robin assignment realizes exactly that while remaining oblivious
+to the transactions' reference behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.workload.transaction import Transaction
+
+__all__ = ["RandomRouter"]
+
+
+class RandomRouter:
+    """Round-robin workload allocation."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self._next = 0
+
+    def route(self, txn: Transaction) -> int:
+        node = self._next
+        self._next = (self._next + 1) % self.num_nodes
+        return node

@@ -1,0 +1,107 @@
+"""Routing tables for trace workloads and the affinity heuristic.
+
+The paper determines affinity-based workload allocations for traces
+with "iterative heuristics that use the reference distribution of the
+workload and the number of nodes as input parameters" [Ra92b].  This
+module implements a greedy variant of that scheme:
+
+1. Build a reference vector per transaction type over page *segments*
+   (fixed-size ranges of each file's page space).
+2. Process types in descending reference-volume order; assign each
+   type to the node whose already-assigned segment set it overlaps
+   most, subject to a load-balance cap.
+
+The result is a :class:`RoutingTable` (type -> node) used by the
+affinity router, and the same segment statistics drive the GLA
+assignment (:mod:`repro.routing.gla`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.workload.trace import Trace
+
+__all__ = ["RoutingTable", "build_routing_table", "type_segment_vectors"]
+
+Segment = Tuple[int, int]  # (file_id, page_no // segment_size)
+
+
+class RoutingTable:
+    """Per-type node assignment for trace workloads."""
+
+    def __init__(self, assignment: Dict[int, int], num_nodes: int):
+        if any(not 0 <= node < num_nodes for node in assignment.values()):
+            raise ValueError("assignment references an invalid node")
+        self.assignment = dict(assignment)
+        self.num_nodes = num_nodes
+
+    def node_for(self, type_id: int) -> int:
+        node = self.assignment.get(type_id)
+        if node is None:
+            # Unknown types fall back to a deterministic spread.
+            return type_id % self.num_nodes
+        return node
+
+    def types_of(self, node: int) -> List[int]:
+        return sorted(t for t, n in self.assignment.items() if n == node)
+
+
+def type_segment_vectors(
+    trace: Trace, segment_size: int = 256
+) -> Tuple[Dict[int, Counter], Dict[int, int]]:
+    """Reference vectors per transaction type over page segments.
+
+    Returns ``(vectors, volumes)`` where ``vectors[type]`` counts
+    references per segment and ``volumes[type]`` is the total.
+    """
+    if segment_size < 1:
+        raise ValueError("segment_size must be >= 1")
+    vectors: Dict[int, Counter] = defaultdict(Counter)
+    volumes: Dict[int, int] = defaultdict(int)
+    for txn in trace:
+        vector = vectors[txn.type_id]
+        for ref in txn.references:
+            vector[(ref.file_id, ref.page_no // segment_size)] += 1
+            volumes[txn.type_id] += 1
+    return dict(vectors), dict(volumes)
+
+
+def build_routing_table(
+    trace: Trace,
+    num_nodes: int,
+    segment_size: int = 256,
+    balance_slack: float = 1.25,
+) -> RoutingTable:
+    """Greedy affinity clustering of transaction types onto nodes."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    vectors, volumes = type_segment_vectors(trace, segment_size)
+    if num_nodes == 1:
+        return RoutingTable({t: 0 for t in vectors}, 1)
+    total_volume = sum(volumes.values())
+    cap = total_volume / num_nodes * balance_slack
+    node_segments: List[Counter] = [Counter() for _ in range(num_nodes)]
+    node_load = [0.0] * num_nodes
+    assignment: Dict[int, int] = {}
+    for type_id in sorted(volumes, key=lambda t: -volumes[t]):
+        vector = vectors[type_id]
+        volume = volumes[type_id]
+        best_node, best_score = None, None
+        for node in range(num_nodes):
+            if node_load[node] + volume > cap:
+                continue
+            overlap = sum(
+                min(count, node_segments[node][seg]) for seg, count in vector.items()
+            )
+            # Prefer overlap; break ties toward the least-loaded node.
+            score = (overlap, -node_load[node])
+            if best_score is None or score > best_score:
+                best_node, best_score = node, score
+        if best_node is None:
+            best_node = min(range(num_nodes), key=lambda n: node_load[n])
+        assignment[type_id] = best_node
+        node_load[best_node] += volume
+        node_segments[best_node].update(vector)
+    return RoutingTable(assignment, num_nodes)

@@ -1,0 +1,387 @@
+"""Event loop, events and processes for the simulation kernel.
+
+The design follows the classic process-oriented simulation style: model
+logic is written as Python generator functions that ``yield`` events.
+The :class:`Simulator` owns a binary heap of scheduled events ordered by
+``(time, priority, sequence)`` so that execution order is fully
+deterministic for a given model and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupted",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for urgent events (processed before normal events at
+#: the same timestamp), e.g. process bootstrap.
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupted(Exception):
+    """Raised inside a process when one of its waited-on events fails.
+
+    The original cause is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*, is *triggered* exactly once with either a
+    value (:meth:`succeed`) or an exception (:meth:`fail`) and then
+    notifies all registered callbacks when the simulator processes it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event once it has been processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or exception attached."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully done)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes observe the exception being raised at their
+        ``yield`` statement.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._trigger(False, exception, delay)
+        return self
+
+    def _trigger(self, ok: bool, value: Any, delay: float) -> None:
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if delay < 0:
+            raise SimulationError("negative delay")
+        self._ok = ok
+        self._value = value
+        self.sim._schedule(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running model process.
+
+    Wraps a generator; each value the generator yields must be an
+    :class:`Event`.  The process resumes when that event is processed,
+    receiving the event's value at the ``yield`` (or the event's
+    exception raised at the ``yield`` wrapped in :class:`Interrupted`
+    for failed non-process events, or re-raised directly for failed
+    child processes).
+
+    A process is itself an event: it triggers with the generator's
+    return value, or fails if the generator raises.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        sim._schedule(bootstrap, 0.0, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            # Tell the generator off; this surfaces as a process failure.
+            try:
+                self.generator.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded a non-event: {target!r}"
+                    )
+                )
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already done: resume immediately (at current time, urgent).
+            relay = Event(self.sim)
+            relay._ok = target._ok
+            relay._value = target._value
+            relay.callbacks.append(self._resume)
+            self.sim._schedule(relay, 0.0, priority=URGENT)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        self._remaining = 0
+        self._arm()
+
+    def _arm(self) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* component events have been processed.
+
+    Succeeds with the list of component values; fails as soon as any
+    component fails.
+    """
+
+    __slots__ = ()
+
+    def _arm(self) -> None:
+        pending = [ev for ev in self.events if not ev.processed]
+        for ev in self.events:
+            if ev.processed and not ev._ok:
+                self.fail(ev._value)
+                return
+        self._remaining = len(pending)
+        if not self._remaining:
+            self.succeed([ev._value for ev in self.events])
+            return
+        for ev in pending:
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the *first* component event is processed.
+
+    Succeeds with ``(index, value)`` of the first component; fails if
+    that component failed.
+    """
+
+    __slots__ = ()
+
+    def _arm(self) -> None:
+        for index, ev in enumerate(self.events):
+            if ev.processed:
+                if ev._ok:
+                    self.succeed((index, ev._value))
+                else:
+                    self.fail(ev._value)
+                return
+        for index, ev in enumerate(self.events):
+            ev.callbacks.append(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(event: Event) -> None:
+            if self.triggered:
+                return
+            if event._ok:
+                self.succeed((index, event._value))
+            else:
+                self.fail(event._value)
+
+        return on_child
+
+
+class Simulator:
+    """The simulation clock and event loop."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List[Any] = []
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._processed
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Spawn a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- running --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process a single event."""
+        _time, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = _time
+        callbacks = event.callbacks
+        event.callbacks = None
+        self._processed += 1
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks:
+            # A failed event (or crashed process) nobody waited for:
+            # surface the error rather than losing it silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event list is exhausted or ``until`` is reached.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if the last event fires earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError("cannot run into the past")
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,167 @@
+"""Queued resources and mailboxes.
+
+:class:`Resource` models a multi-server FCFS service station (CPUs, a
+disk, the GEM store, the network).  It is a counted semaphore with a
+FIFO wait queue plus built-in statistics: time-weighted busy-server and
+queue-length curves, waiting-time and service-count tallies, so that
+device utilizations and queuing delays can be reported directly.
+
+:class:`Store` is an unbounded FIFO mailbox used for message passing
+between model components (e.g. the communication subsystem delivering
+lock requests to a remote node's lock-manager process).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional, Tuple
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.stats import Tally, TimeWeighted
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A multi-server FCFS resource.
+
+    Usage from a process::
+
+        yield resource.request()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+
+    or, equivalently, the :meth:`acquire` helper::
+
+        yield from resource.acquire(service_time)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._busy = 0
+        self._queue: Deque[Tuple[Event, float]] = deque()
+        # Statistics.
+        self.busy_stat = TimeWeighted(f"{self.name}.busy", now=sim.now)
+        self.queue_stat = TimeWeighted(f"{self.name}.queue", now=sim.now)
+        self.wait_time = Tally(f"{self.name}.wait")
+        self.services = 0
+
+    @property
+    def busy(self) -> int:
+        """Number of units currently held."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Request one unit; the returned event fires when granted."""
+        event = Event(self.sim)
+        if self._busy < self.capacity and not self._queue:
+            self._grant(event, waited=0.0)
+        else:
+            self._queue.append((event, self.sim.now))
+            self.queue_stat.update(len(self._queue), self.sim.now)
+        return event
+
+    def release(self) -> None:
+        """Return one unit, granting it to the next waiter if any."""
+        if self._busy <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        self._busy -= 1
+        self.busy_stat.update(self._busy, self.sim.now)
+        if self._queue:
+            event, enqueued_at = self._queue.popleft()
+            self.queue_stat.update(len(self._queue), self.sim.now)
+            self._grant(event, waited=self.sim.now - enqueued_at)
+
+    def acquire(self, duration: float) -> Generator[Event, Any, None]:
+        """Request a unit, hold it for ``duration``, release it."""
+        yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Time-average fraction of units busy since the last reset."""
+        now = self.sim.now if now is None else now
+        return self.busy_stat.time_average(now) / self.capacity
+
+    def mean_queue_length(self, now: Optional[float] = None) -> float:
+        now = self.sim.now if now is None else now
+        return self.queue_stat.time_average(now)
+
+    def reset_stats(self) -> None:
+        """Discard accumulated statistics (end of warm-up)."""
+        now = self.sim.now
+        self.busy_stat.reset(now)
+        self.queue_stat.reset(now)
+        self.wait_time.reset()
+        self.services = 0
+
+    def _grant(self, event: Event, waited: float) -> None:
+        self._busy += 1
+        self.busy_stat.update(self._busy, self.sim.now)
+        self.wait_time.record(waited)
+        self.services += 1
+        event.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Resource({self.name!r}, busy={self._busy}/{self.capacity}, "
+            f"queued={len(self._queue)})"
+        )
+
+
+class Store:
+    """An unbounded FIFO mailbox.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    next item (immediately if one is already buffered).  Items are
+    delivered to getters in FIFO order on both sides.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.size_stat = TimeWeighted(f"{self.name}.size", now=sim.now)
+        self.puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+            self.size_stat.update(len(self._items), self.sim.now)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            self.size_stat.update(len(self._items), self.sim.now)
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def reset_stats(self) -> None:
+        self.size_stat.reset(self.sim.now)
+        self.puts = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Store({self.name!r}, items={len(self._items)}, waiting={len(self._getters)})"

@@ -1,0 +1,206 @@
+"""Statistics collection for simulation models.
+
+Three collector types cover everything the model reports:
+
+* :class:`Counter` -- monotonically increasing occurrence counts.
+* :class:`Tally` -- per-observation statistics (mean, variance, min,
+  max, optional percentiles), e.g. response times.
+* :class:`TimeWeighted` -- time-integrated statistics for state
+  variables such as queue lengths or busy servers; its mean over an
+  interval is the time average (utilization when the variable is the
+  busy-server count divided by capacity).
+
+All collectors support :meth:`reset` so that a warm-up period can be
+discarded before measurement starts, as is standard practice for
+steady-state simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Tally", "TimeWeighted", "StatsRegistry"]
+
+
+class Counter:
+    """A simple occurrence counter."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.count += amount
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, count={self.count})"
+
+
+class Tally:
+    """Per-observation statistics with Welford's online algorithm.
+
+    If ``keep_samples`` is true, all observations are retained so that
+    percentiles can be computed; otherwise only the moments are kept.
+    """
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max", "_samples")
+
+    def __init__(self, name: str = "", keep_samples: bool = False):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-quantile (0 <= q <= 1) of retained samples."""
+        if self._samples is None:
+            raise ValueError("Tally was created without keep_samples=True")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        if q <= 0:
+            return data[0]
+        if q >= 1:
+            return data[-1]
+        pos = q * (len(data) - 1)
+        lower = int(pos)
+        frac = pos - lower
+        if lower + 1 >= len(data):
+            return data[-1]
+        # data[a] + frac * (data[b] - data[a]) is exact for equal
+        # neighbours (the symmetric form can exceed them by one ulp).
+        return data[lower] + frac * (data[lower + 1] - data[lower])
+
+    def reset(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        if self._samples is not None:
+            self._samples = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tally({self.name!r}, n={self.count}, mean={self.mean:.6g})"
+
+
+class TimeWeighted:
+    """Time-weighted statistics for a piecewise-constant state variable.
+
+    Call :meth:`update` whenever the variable changes.  The time-average
+    over the observation interval is ``area / elapsed``.
+    """
+
+    __slots__ = ("name", "_value", "_last_time", "_start_time", "_area", "max")
+
+    def __init__(self, name: str = "", initial: float = 0.0, now: float = 0.0):
+        self.name = name
+        self._value = initial
+        self._last_time = now
+        self._start_time = now
+        self._area = 0.0
+        self.max = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, value: float, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time moved backwards")
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+        if value > self.max:
+            self.max = value
+
+    def add(self, delta: float, now: float) -> None:
+        self.update(self._value + delta, now)
+
+    def time_average(self, now: float) -> float:
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_time)
+        return area / elapsed
+
+    def reset(self, now: float) -> None:
+        """Discard history; the current value is kept as the new initial."""
+        self._last_time = now
+        self._start_time = now
+        self._area = 0.0
+        self.max = self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TimeWeighted({self.name!r}, value={self._value})"
+
+
+class StatsRegistry:
+    """A named collection of collectors with bulk reset.
+
+    Model components create their collectors through a registry so a
+    run controller can discard the warm-up phase for all of them at
+    once and enumerate them for reporting.
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.tallies: Dict[str, Tally] = {}
+        self.time_weighted: Dict[str, TimeWeighted] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def tally(self, name: str, keep_samples: bool = False) -> Tally:
+        if name not in self.tallies:
+            self.tallies[name] = Tally(name, keep_samples=keep_samples)
+        return self.tallies[name]
+
+    def timeweighted(self, name: str, initial: float = 0.0, now: float = 0.0) -> TimeWeighted:
+        if name not in self.time_weighted:
+            self.time_weighted[name] = TimeWeighted(name, initial=initial, now=now)
+        return self.time_weighted[name]
+
+    def reset_all(self, now: float) -> None:
+        """Reset every collector (used to discard the warm-up phase)."""
+        for counter in self.counters.values():
+            counter.reset()
+        for tally in self.tallies.values():
+            tally.reset()
+        for stat in self.time_weighted.values():
+            stat.reset(now)

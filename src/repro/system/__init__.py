@@ -1,0 +1,29 @@
+"""System assembly: configuration, cluster construction, run control.
+
+* :class:`~repro.system.config.SystemConfig` -- every knob of the
+  simulation model, defaulted to the paper's Table 4.1 settings.
+* :class:`~repro.system.cluster.Cluster` -- wires workload source,
+  processing nodes, protocols and devices together.
+* :func:`~repro.system.runner.run_simulation` -- warm-up + measurement
+  run controller returning a :class:`~repro.system.results.RunResult`.
+"""
+
+from repro.system.config import (
+    Coupling,
+    DebitCreditConfig,
+    RoutingStrategy,
+    SystemConfig,
+    UpdateStrategy,
+)
+from repro.system.results import RunResult
+from repro.system.runner import run_simulation
+
+__all__ = [
+    "Coupling",
+    "DebitCreditConfig",
+    "RoutingStrategy",
+    "RunResult",
+    "SystemConfig",
+    "UpdateStrategy",
+    "run_simulation",
+]

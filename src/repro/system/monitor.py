@@ -1,0 +1,87 @@
+"""Time-series monitoring of a running cluster.
+
+Samples system state at a fixed simulated-time interval: instantaneous
+throughput, response times of the window, per-node CPU utilization,
+queue depths and device utilizations.  Useful for inspecting transient
+behaviour (warm-up, saturation onset) that end-of-run averages hide.
+
+Usage::
+
+    cluster = Cluster(config)
+    monitor = TimeSeriesMonitor(cluster, interval=0.5)
+    cluster.sim.run(until=20.0)
+    for row in monitor.samples:
+        print(row["time"], row["throughput"], row["cpu_max"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cluster import Cluster
+
+__all__ = ["TimeSeriesMonitor"]
+
+
+class TimeSeriesMonitor:
+    """Periodic sampler attached to a cluster."""
+
+    def __init__(self, cluster: "Cluster", interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster = cluster
+        self.interval = interval
+        self.samples: List[Dict[str, Any]] = []
+        self._last_completed = 0
+        self._last_rt_sum = 0.0
+        self._last_cpu_busy = [0.0] * len(cluster.nodes)
+        cluster.sim.process(self._run(), name="monitor")
+
+    def _run(self):
+        sim = self.cluster.sim
+        while True:
+            yield sim.timeout(self.interval)
+            self.samples.append(self._sample())
+
+    def _sample(self) -> Dict[str, Any]:
+        cluster = self.cluster
+        now = cluster.sim.now
+        completed = sum(n.completions.count for n in cluster.nodes)
+        rt_sum = sum(
+            n.response_time.mean * n.response_time.count for n in cluster.nodes
+        )
+        window_completed = completed - self._last_completed
+        window_rt = rt_sum - self._last_rt_sum
+        self._last_completed = completed
+        self._last_rt_sum = rt_sum
+        cpu_utils = [n.cpu.utilization() for n in cluster.nodes]
+        return {
+            "time": now,
+            "completed_total": completed,
+            "throughput": window_completed / self.interval,
+            "mean_response_time": (
+                window_rt / window_completed if window_completed else 0.0
+            ),
+            "in_flight": sum(
+                n.mpl.busy + n.mpl.queue_length for n in cluster.nodes
+            ),
+            "cpu_avg": sum(cpu_utils) / len(cpu_utils),
+            "cpu_max": max(cpu_utils),
+            "gem_utilization": cluster.gem.utilization(),
+            "network_utilization": cluster.network.utilization(),
+        }
+
+    # -- export ----------------------------------------------------------
+
+    def column(self, key: str) -> List[Any]:
+        return [row[key] for row in self.samples]
+
+    def to_csv(self) -> str:
+        if not self.samples:
+            return ""
+        keys = list(self.samples[0])
+        lines = [",".join(keys)]
+        for row in self.samples:
+            lines.append(",".join(f"{row[k]:.6g}" for k in keys))
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Result records of a simulation run.
+
+A :class:`RunResult` captures the metrics the paper reports: mean
+response time (the primary metric of the open model), throughput, CPU
+and device utilizations, buffer hit ratios and invalidations, lock
+behaviour (local shares, waits, deadlocks) and message counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+__all__ = ["RunResult"]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Aggregated metrics of one measurement interval."""
+
+    # -- configuration echo --------------------------------------------
+    num_nodes: int
+    coupling: str
+    routing: str
+    update_strategy: str
+    workload: str
+    buffer_pages_per_node: int
+    arrival_rate_per_node: float
+
+    # -- primary metrics --------------------------------------------------
+    measure_time: float
+    completed: int
+    #: Mean transaction response time in seconds.
+    mean_response_time: float
+    #: Mean response time of an "artificial transaction performing the
+    #: average number of database accesses" (the paper's trace metric).
+    mean_response_time_artificial: float
+    throughput_total: float
+    mean_accesses_per_txn: float
+
+    # -- utilizations ---------------------------------------------------------
+    cpu_utilization_per_node: List[float]
+    gem_utilization: float
+    network_utilization: float
+    log_disk_utilization_max: float
+    disk_utilization_max: float
+
+    # -- buffer behaviour --------------------------------------------------------
+    #: Partition name -> aggregate hit ratio over all nodes.
+    hit_ratios: Dict[str, float]
+    #: Partition name -> buffer invalidations per completed transaction.
+    invalidations_per_txn: Dict[str, float]
+
+    # -- concurrency control ---------------------------------------------------
+    #: Fraction of lock requests processed without messages (PCL; 1.0
+    #: for GEM locking, whose cost is message-free by construction).
+    local_lock_share: float
+    lock_requests_per_txn: float
+    remote_lock_requests_per_txn: float
+    mean_lock_wait_time: float
+    deadlocks: int
+    aborts: int
+
+    # -- coherency control -------------------------------------------------------
+    page_requests_per_txn: float
+    mean_page_request_delay: float
+    pages_supplied_with_grant_per_txn: float
+
+    # -- communication ---------------------------------------------------------------
+    messages_short_per_txn: float
+    messages_long_per_txn: float
+
+    # -- bookkeeping ---------------------------------------------------------------
+    events_processed: int = 0
+    generated: int = 0
+
+    @property
+    def throughput_per_node(self) -> float:
+        return self.throughput_total / self.num_nodes if self.num_nodes else 0.0
+
+    @property
+    def cpu_utilization_avg(self) -> float:
+        utils = self.cpu_utilization_per_node
+        return sum(utils) / len(utils) if utils else 0.0
+
+    @property
+    def cpu_utilization_max(self) -> float:
+        return max(self.cpu_utilization_per_node, default=0.0)
+
+    @property
+    def response_time_ms(self) -> float:
+        return self.mean_response_time * 1000.0
+
+    @property
+    def messages_per_txn(self) -> float:
+        return self.messages_short_per_txn + self.messages_long_per_txn
+
+    def label(self) -> str:
+        return (
+            f"N={self.num_nodes} {self.coupling}/{self.routing}/"
+            f"{self.update_strategy} buf={self.buffer_pages_per_node}"
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.label()}: RT={self.response_time_ms:.1f} ms, "
+            f"X={self.throughput_total:.0f} TPS, "
+            f"CPU={self.cpu_utilization_avg:.0%} (max {self.cpu_utilization_max:.0%}), "
+            f"local locks={self.local_lock_share:.0%}, "
+            f"msgs/txn={self.messages_per_txn:.1f}"
+        )
+
+    def as_dict(self) -> Dict:
+        data = dataclasses.asdict(self)
+        data["throughput_per_node"] = self.throughput_per_node
+        data["cpu_utilization_avg"] = self.cpu_utilization_avg
+        data["cpu_utilization_max"] = self.cpu_utilization_max
+        data["response_time_ms"] = self.response_time_ms
+        data["messages_per_txn"] = self.messages_per_txn
+        return data

@@ -1,0 +1,16 @@
+"""Workload generation (section 3.1 of the paper).
+
+* :mod:`~repro.workload.transaction` -- transaction and page-access
+  representation shared by all generators.
+* :mod:`~repro.workload.debitcredit` -- synthetic debit-credit (TPC-A/B
+  style) transactions with the 85 % local-branch ACCOUNT rule.
+* :mod:`~repro.workload.trace` -- trace format with reader/writer.
+* :mod:`~repro.workload.tracegen` -- synthetic "real-life" trace
+  generator matching the aggregates the paper reports for its trace.
+* :mod:`~repro.workload.arrivals` -- the SOURCE: open Poisson arrivals
+  feeding the routing component.
+"""
+
+from repro.workload.transaction import PageAccess, Transaction
+
+__all__ = ["PageAccess", "Transaction"]

@@ -1,0 +1,52 @@
+"""The SOURCE: open Poisson arrivals feeding the router.
+
+The simulation uses an open queuing model (section 4): transactions
+arrive according to a Poisson process with the configured aggregate
+rate, independent of the system state.  Each arrival is routed to a
+node by the workload-allocation strategy and submitted to that node's
+transaction manager.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import Stream
+from repro.workload.transaction import Transaction
+
+__all__ = ["Source"]
+
+
+class Source:
+    """Generates and distributes the workload of the system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator,
+        router,
+        submit: Callable[[int, Transaction], None],
+        total_rate: float,
+        stream: Stream,
+    ):
+        if total_rate <= 0:
+            raise ValueError("total_rate must be positive")
+        self.sim = sim
+        self.generator = generator
+        self.router = router
+        self.submit = submit
+        self.mean_interarrival = 1.0 / total_rate
+        self.stream = stream
+        self.generated = 0
+        sim.process(self._run(), name="source")
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.stream.exponential(self.mean_interarrival))
+            txn = self.generator.next_transaction()
+            if txn is None:
+                return  # finite workload (trace) exhausted
+            node_id = self.router.route(txn)
+            self.generated += 1
+            self.submit(node_id, txn)

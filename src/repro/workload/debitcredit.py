@@ -1,0 +1,69 @@
+"""Debit-credit transaction generator (section 3.1).
+
+Each transaction:
+
+* randomly selects a BRANCH;
+* randomly selects a TELLER of that branch;
+* selects an ACCOUNT of the same branch with probability 85 %, of a
+  uniformly chosen *other* branch otherwise (TPC requirement);
+* appends one HISTORY record (sequential file, no locks).
+
+All transactions reference the record types in the same order --
+ACCOUNT first, then HISTORY, with the small, hot TELLER and BRANCH
+records last to keep their lock holding times short -- so no deadlocks
+can occur.  All four record accesses are updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.debitcredit import DebitCreditLayout
+from repro.node.transaction_manager import HISTORY_APPEND
+from repro.sim.rng import Stream
+from repro.workload.transaction import PageAccess, Transaction
+
+__all__ = ["DebitCreditGenerator"]
+
+
+class DebitCreditGenerator:
+    """Generates debit-credit transactions over a scaled database."""
+
+    def __init__(self, layout: DebitCreditLayout, stream: Stream):
+        self.layout = layout
+        self.stream = stream
+        self._next_id = 0
+
+    def next_transaction(self) -> Transaction:
+        layout = self.layout
+        stream = self.stream
+        branch = stream.randint(0, layout.total_branches - 1)
+        teller_index = stream.randint(0, layout.config.tellers_per_branch - 1)
+        account = self._select_account(branch)
+        accesses = [
+            PageAccess(layout.account_page(account), write=True),
+            PageAccess(
+                (layout.history.index, HISTORY_APPEND),
+                write=True,
+                lockable=False,
+                append=True,
+            ),
+            PageAccess(layout.teller_page(branch, teller_index), write=True),
+            PageAccess(layout.branch_teller_page(branch), write=True),
+        ]
+        self._next_id += 1
+        return Transaction(self._next_id, accesses, type_id=0, branch=branch)
+
+    def _select_account(self, branch: int) -> int:
+        layout = self.layout
+        stream = self.stream
+        local = stream.bernoulli(layout.config.account_local_probability)
+        if local or layout.total_branches == 1:
+            home = branch
+        else:
+            # Uniformly choose a *different* branch.
+            home = stream.randint(0, layout.total_branches - 2)
+            if home >= branch:
+                home += 1
+        offset = stream.randint(0, layout.accounts_per_branch - 1)
+        return home * layout.accounts_per_branch + offset

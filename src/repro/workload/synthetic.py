@@ -1,0 +1,194 @@
+"""General synthetic multi-class workload generator.
+
+The paper's simulation system contains "several workload generators"
+(section 3.1); besides debit-credit and trace replay, this module
+provides a configurable generator for arbitrary transaction mixes:
+
+* a database of named partitions with sizes and blocking factors;
+* transaction classes with relative weights, each a list of
+  :class:`AccessSpec` steps drawing pages from a partition with a
+  uniform or Zipf-skewed distribution and a write probability;
+* optional per-class node affinity for affinity-based routing.
+
+Example::
+
+    spec = SyntheticWorkloadSpec(
+        partitions=[PartitionSpec("ORDERS", 50_000), PartitionSpec("STOCK", 5_000)],
+        classes=[
+            TransactionClass("new-order", weight=10, accesses=[
+                AccessSpec("STOCK", count=10, write_probability=1.0,
+                           distribution="zipf", zipf_theta=0.8),
+                AccessSpec("ORDERS", count=1, write_probability=1.0),
+            ]),
+            TransactionClass("stock-level", weight=1, accesses=[
+                AccessSpec("STOCK", count=200, distribution="zipf"),
+            ]),
+        ],
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.db.pages import PageId
+from repro.db.schema import Database, Partition
+from repro.sim.rng import Stream, zipf_weights
+from repro.workload.transaction import PageAccess, Transaction
+
+__all__ = [
+    "AccessSpec",
+    "PartitionSpec",
+    "SyntheticGenerator",
+    "SyntheticWorkloadSpec",
+    "TransactionClass",
+]
+
+
+@dataclasses.dataclass
+class PartitionSpec:
+    """A database file of the synthetic workload."""
+
+    name: str
+    num_pages: int
+    blocking_factor: int = 1
+    lockable: bool = True
+    disks: int = 4
+
+
+@dataclasses.dataclass
+class AccessSpec:
+    """One step of a transaction class.
+
+    ``count`` pages are drawn from ``partition``; with
+    ``fixed_count=False`` the count is sampled geometrically around the
+    mean.  ``hot_fraction`` restricts the draw to the first fraction of
+    the partition's pages (a hot set).
+    """
+
+    partition: str
+    count: float = 1.0
+    write_probability: float = 0.0
+    distribution: str = "uniform"  # "uniform" | "zipf"
+    zipf_theta: float = 0.8
+    hot_fraction: float = 1.0
+    fixed_count: bool = True
+
+    def __post_init__(self):
+        if self.distribution not in ("uniform", "zipf"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if not 0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+
+
+@dataclasses.dataclass
+class TransactionClass:
+    """A transaction type with a relative frequency."""
+
+    name: str
+    weight: float
+    accesses: List[AccessSpec]
+    #: Preferred node for affinity routing (None = spread round-robin).
+    affinity_node: Optional[int] = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not self.accesses:
+            raise ValueError("a transaction class needs at least one access")
+
+
+@dataclasses.dataclass
+class SyntheticWorkloadSpec:
+    """Complete description of a synthetic workload."""
+
+    partitions: List[PartitionSpec]
+    classes: List[TransactionClass]
+
+    def build_database(self) -> Database:
+        return Database(
+            [
+                Partition(
+                    spec.name,
+                    index=index,
+                    num_pages=spec.num_pages,
+                    blocking_factor=spec.blocking_factor,
+                    lockable=spec.lockable,
+                    disks=spec.disks,
+                )
+                for index, spec in enumerate(self.partitions)
+            ]
+        )
+
+    def class_by_name(self, name: str) -> TransactionClass:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(name)
+
+
+class SyntheticGenerator:
+    """Generates transactions according to a workload spec."""
+
+    def __init__(self, spec: SyntheticWorkloadSpec, database: Database, stream: Stream):
+        self.spec = spec
+        self.database = database
+        self.stream = stream
+        self._next_id = 0
+        self._cumulative: List[float] = []
+        total = 0.0
+        for cls in spec.classes:
+            total += cls.weight
+            self._cumulative.append(total)
+        self._zipf_tables: Dict[tuple, List[float]] = {}
+        self.generated_per_class = [0] * len(spec.classes)
+
+    def _pick_class(self) -> int:
+        index = self.stream.weighted_index(self._cumulative)
+        return min(index, len(self.spec.classes) - 1)
+
+    def _zipf_table(self, partition_index: int, universe: int, theta: float):
+        key = (partition_index, universe, theta)
+        table = self._zipf_tables.get(key)
+        if table is None:
+            table = zipf_weights(universe, theta)
+            self._zipf_tables[key] = table
+        return table
+
+    def _draw_page(self, access: AccessSpec) -> PageId:
+        partition = self.database[access.partition]
+        universe = max(1, int(partition.num_pages * access.hot_fraction))
+        if access.distribution == "zipf":
+            table = self._zipf_table(partition.index, universe, access.zipf_theta)
+            page_no = min(self.stream.weighted_index(table), universe - 1)
+        else:
+            page_no = self.stream.randint(0, universe - 1)
+        return partition.page_id(page_no)
+
+    def next_transaction(self) -> Transaction:
+        class_index = self._pick_class()
+        cls = self.spec.classes[class_index]
+        self.generated_per_class[class_index] += 1
+        accesses: List[PageAccess] = []
+        for access_spec in cls.accesses:
+            if access_spec.fixed_count:
+                count = max(1, int(round(access_spec.count)))
+            else:
+                count = self.stream.geometric(1.0 / max(1.0, access_spec.count))
+            partition = self.database[access_spec.partition]
+            for _ in range(count):
+                write = access_spec.write_probability > 0 and self.stream.bernoulli(
+                    access_spec.write_probability
+                )
+                accesses.append(
+                    PageAccess(
+                        self._draw_page(access_spec),
+                        write=write,
+                        lockable=partition.lockable,
+                    )
+                )
+        self._next_id += 1
+        return Transaction(self._next_id, accesses, type_id=class_index)

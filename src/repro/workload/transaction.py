@@ -1,0 +1,138 @@
+"""Transaction and page-access representation.
+
+A transaction is a sequence of :class:`PageAccess` steps.  For the
+debit-credit workload each transaction has four record accesses (three
+distinct pages when BRANCH/TELLER are clustered); trace transactions
+replay the page references recorded in the trace.
+
+The object also carries the per-execution runtime state used by the
+transaction manager, buffer manager and the protocols (held locks,
+modified page versions, restart count); :meth:`reset_runtime` clears
+that state when a deadlock victim restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.db.pages import PageId
+
+__all__ = ["PageAccess", "Transaction"]
+
+
+class PageAccess:
+    """One page reference of a transaction."""
+
+    __slots__ = ("page", "write", "lockable", "append")
+
+    def __init__(
+        self, page: PageId, write: bool, lockable: bool = True, append: bool = False
+    ):
+        self.page = page
+        self.write = write
+        self.lockable = lockable
+        #: Append to a sequential file: a miss allocates a fresh page
+        #: in the buffer instead of reading it from storage.
+        self.append = append
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "w" if self.write else "r"
+        lock = "" if self.lockable else ",nolock"
+        return f"PageAccess({self.page}, {mode}{lock})"
+
+
+class Transaction:
+    """A unit of work routed to one processing node."""
+
+    __slots__ = (
+        "txn_id",
+        "type_id",
+        "accesses",
+        "branch",
+        "node",
+        "arrival_time",
+        "start_time",
+        "held_locks",
+        "grants",
+        "touched_pages",
+        "modified",
+        "modified_unlocked",
+        "auth_read_pages",
+        "restarts",
+        "remote_lock_requests",
+        "local_lock_requests",
+        "page_requests",
+    )
+
+    def __init__(
+        self,
+        txn_id: int,
+        accesses: List[PageAccess],
+        type_id: int = 0,
+        branch: Optional[int] = None,
+    ):
+        self.txn_id = txn_id
+        self.type_id = type_id
+        self.accesses = accesses
+        #: Home branch (debit-credit) used by affinity routing.
+        self.branch = branch
+        #: Node the router assigned the transaction to.
+        self.node: Optional[int] = None
+        self.arrival_time: float = 0.0
+        self.start_time: float = 0.0
+        # -- runtime state (reset on restart) --------------------------
+        #: Pages on which locks are currently held -> True for X mode.
+        self.held_locks: Dict[PageId, bool] = {}
+        #: Cached lock grants (one protocol interaction per page/mode).
+        self.grants: Dict[PageId, object] = {}
+        #: Pages already touched in this execution.  Repeat record
+        #: accesses to the same page (e.g. TELLER then BRANCH on one
+        #: clustered page) are not separate *page* accesses -- the
+        #: paper counts three page accesses per debit-credit
+        #: transaction -- so they bypass the buffer statistics.
+        self.touched_pages: Set[PageId] = set()
+        #: Pages modified in this execution -> new version number.
+        self.modified: Dict[PageId, int] = {}
+        #: Modified pages of unlocked (latch-protected) partitions.
+        self.modified_unlocked: Set[PageId] = set()
+        #: Pages whose S lock is covered by a read authorization (PCL
+        #: read optimization): released locally without a message.
+        self.auth_read_pages: Set[PageId] = set()
+        self.restarts: int = 0
+        self.remote_lock_requests: int = 0
+        self.local_lock_requests: int = 0
+        self.page_requests: int = 0
+
+    @property
+    def is_update(self) -> bool:
+        return any(access.write for access in self.accesses)
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.accesses)
+
+    def lockable_pages(self) -> List[Tuple[PageId, bool]]:
+        """Distinct lockable pages with their strongest access mode."""
+        modes: Dict[PageId, bool] = {}
+        for access in self.accesses:
+            if access.lockable:
+                modes[access.page] = modes.get(access.page, False) or access.write
+        return list(modes.items())
+
+    def reset_runtime(self) -> None:
+        """Clear per-execution state before a restart."""
+        self.held_locks.clear()
+        self.grants.clear()
+        self.touched_pages.clear()
+        self.modified.clear()
+        self.modified_unlocked.clear()
+        self.auth_read_pages.clear()
+        self.remote_lock_requests = 0
+        self.local_lock_requests = 0
+        self.page_requests = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Transaction(id={self.txn_id}, type={self.type_id}, "
+            f"accesses={len(self.accesses)}, node={self.node})"
+        )

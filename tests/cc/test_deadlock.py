@@ -1,0 +1,103 @@
+"""Unit tests for global deadlock detection."""
+
+import pytest
+
+from repro.cc.deadlock import DeadlockDetector
+from repro.node.lock_table import LockMode, LockTable
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+def noop():
+    pass
+
+
+class TestCycleDetection:
+    def test_no_deadlock_on_simple_wait(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        table.request(1, (0, 1), X, noop)
+        table.request(2, (0, 1), X, noop)
+        assert detector.register_block(2, table, noop) is None
+        assert detector.deadlocks_detected == 0
+
+    def test_two_txn_cycle_detected(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        # 1 holds a, 2 holds b; then 1 wants b, 2 wants a.
+        table.request(1, (0, 1), X, noop)
+        table.request(2, (0, 2), X, noop)
+        table.request(1, (0, 2), X, noop)
+        assert detector.register_block(1, table, lambda: aborted.append(1)) is None
+        table.request(2, (0, 1), X, noop)
+        victim = detector.register_block(2, table, lambda: aborted.append(2))
+        assert victim == 2  # youngest
+        assert aborted == [2]
+        assert detector.deadlocks_detected == 1
+
+    def test_victim_is_youngest_even_if_not_last_blocker(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        # 5 (young) holds a and waits for b; 1 (old) holds b, requests a.
+        table.request(5, (0, 1), X, noop)
+        table.request(1, (0, 2), X, noop)
+        table.request(5, (0, 2), X, noop)
+        detector.register_block(5, table, lambda: aborted.append(5))
+        table.request(1, (0, 1), X, noop)
+        victim = detector.register_block(1, table, lambda: aborted.append(1))
+        assert victim == 5
+        assert aborted == [5]
+
+    def test_three_txn_cycle(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        table.request(1, (0, 1), X, noop)
+        table.request(2, (0, 2), X, noop)
+        table.request(3, (0, 3), X, noop)
+        table.request(1, (0, 2), X, noop)
+        detector.register_block(1, table, lambda: aborted.append(1))
+        table.request(2, (0, 3), X, noop)
+        detector.register_block(2, table, lambda: aborted.append(2))
+        table.request(3, (0, 1), X, noop)
+        victim = detector.register_block(3, table, lambda: aborted.append(3))
+        assert victim == 3
+        assert aborted == [3]
+
+    def test_cross_table_cycle(self):
+        """PCL: a deadlock spanning two GLA lock tables is detected."""
+        detector = DeadlockDetector()
+        table_a, table_b = LockTable("a"), LockTable("b")
+        aborted = []
+        table_a.request(1, (0, 1), X, noop)
+        table_b.request(2, (1, 1), X, noop)
+        table_b.request(1, (1, 1), X, noop)
+        detector.register_block(1, table_b, lambda: aborted.append(1))
+        table_a.request(2, (0, 1), X, noop)
+        victim = detector.register_block(2, table_a, lambda: aborted.append(2))
+        assert victim == 2
+        assert aborted == [2]
+
+    def test_upgrade_deadlock(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        table.request(1, (0, 1), S, noop)
+        table.request(2, (0, 1), S, noop)
+        table.request(1, (0, 1), X, noop)
+        detector.register_block(1, table, lambda: aborted.append(1))
+        table.request(2, (0, 1), X, noop)
+        victim = detector.register_block(2, table, lambda: aborted.append(2))
+        assert victim == 2
+
+    def test_clear_removes_registration(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        table.request(1, (0, 1), X, noop)
+        table.request(2, (0, 1), X, noop)
+        detector.register_block(2, table, noop)
+        detector.clear(2)
+        assert not detector.is_blocked(2)

@@ -1,0 +1,101 @@
+"""Unit tests for the debit-credit database layout."""
+
+import pytest
+
+from repro.db.debitcredit import DebitCreditLayout
+from repro.system.config import DebitCreditConfig
+
+
+@pytest.fixture
+def layout():
+    return DebitCreditLayout(DebitCreditConfig(), num_nodes=4)
+
+
+class TestScaling:
+    def test_database_scales_with_nodes(self, layout):
+        assert layout.total_branches == 400
+        assert layout.total_accounts == 40_000_000
+
+    def test_partition_sizes(self, layout):
+        db = layout.database
+        assert db["BRANCH_TELLER"].num_pages == 400  # one page per branch
+        assert db["ACCOUNT"].num_pages == 4_000_000
+        assert db["HISTORY"].num_pages is None
+
+    def test_clustered_blocking_factor(self, layout):
+        assert layout.database["BRANCH_TELLER"].blocking_factor == 11
+
+    def test_history_not_lockable(self, layout):
+        assert not layout.database["HISTORY"].lockable
+        assert layout.database["ACCOUNT"].lockable
+
+    def test_disks_scale_with_nodes(self, layout):
+        config = DebitCreditConfig()
+        assert (
+            layout.database["ACCOUNT"].disks
+            == config.account_disks_per_node * 4
+        )
+
+
+class TestRecordMapping:
+    def test_branch_of_account(self, layout):
+        assert layout.branch_of_account(0) == 0
+        assert layout.branch_of_account(99_999) == 0
+        assert layout.branch_of_account(100_000) == 1
+
+    def test_account_pages_never_span_branches(self, layout):
+        # First account of branch 1 starts a fresh page.
+        last_of_branch0 = layout.account_page(99_999)
+        first_of_branch1 = layout.account_page(100_000)
+        assert last_of_branch0 != first_of_branch1
+
+    def test_account_blocking_factor(self, layout):
+        assert layout.account_page(0) == layout.account_page(9)
+        assert layout.account_page(0) != layout.account_page(10)
+
+    def test_clustered_teller_page_is_branch_page(self, layout):
+        assert layout.teller_page(7, 3) == layout.branch_teller_page(7)
+
+    def test_unclustered_teller_page_differs(self):
+        config = DebitCreditConfig(cluster_branch_teller=False)
+        layout = DebitCreditLayout(config, num_nodes=1)
+        branch_page = layout.branch_teller_page(7)
+        teller_page = layout.teller_page(7, 3)
+        assert branch_page[0] != teller_page[0]  # different partitions
+
+    def test_misaligned_blocking_factor_rejected(self):
+        config = DebitCreditConfig(accounts_per_branch=100_001)
+        with pytest.raises(ValueError):
+            DebitCreditLayout(config, num_nodes=1)
+
+
+class TestAffinity:
+    def test_home_node_partitions_branches_equally(self, layout):
+        homes = [layout.home_node(b) for b in range(400)]
+        for node in range(4):
+            assert homes.count(node) == 100
+
+    def test_home_node_contiguous_ranges(self, layout):
+        assert layout.home_node(0) == 0
+        assert layout.home_node(99) == 0
+        assert layout.home_node(100) == 1
+        assert layout.home_node(399) == 3
+
+    def test_out_of_range_branch_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.home_node(400)
+
+    def test_gla_of_branch_teller_page_matches_home(self, layout):
+        for branch in [0, 99, 100, 399]:
+            page = layout.branch_teller_page(branch)
+            assert layout.gla_of_page(page) == layout.home_node(branch)
+
+    def test_gla_of_account_page_matches_branch_home(self, layout):
+        account = 25 * 100_000 + 17  # branch 25 -> node 0
+        page = layout.account_page(account)
+        assert layout.gla_of_page(page) == layout.home_node(25)
+
+    def test_gla_of_history_page_uses_embedded_node(self, layout):
+        history_index = layout.history.index
+        page = (history_index, (2 << 40) | 5)
+        assert layout.gla_of_page(page) == 2

@@ -1,0 +1,63 @@
+"""Unit tests for the version ledger (coherency ground truth)."""
+
+import pytest
+
+from repro.db.pages import CoherencyError, VersionLedger
+
+
+class TestCommittedVersions:
+    def test_initial_version_zero(self):
+        ledger = VersionLedger()
+        assert ledger.committed_version((0, 1)) == 0
+
+    def test_install_commit_advances(self):
+        ledger = VersionLedger()
+        ledger.install_commit((0, 1), 1)
+        ledger.install_commit((0, 1), 2)
+        assert ledger.committed_version((0, 1)) == 2
+
+    def test_install_commit_backwards_rejected(self):
+        ledger = VersionLedger()
+        ledger.install_commit((0, 1), 3)
+        with pytest.raises(CoherencyError):
+            ledger.install_commit((0, 1), 3)
+        with pytest.raises(CoherencyError):
+            ledger.install_commit((0, 1), 2)
+
+    def test_pages_are_independent(self):
+        ledger = VersionLedger()
+        ledger.install_commit((0, 1), 5)
+        assert ledger.committed_version((0, 2)) == 0
+
+
+class TestStorageVersions:
+    def test_write_storage_records_version(self):
+        ledger = VersionLedger()
+        ledger.write_storage((1, 7), 4)
+        assert ledger.storage_version((1, 7)) == 4
+
+    def test_out_of_order_write_ignored(self):
+        ledger = VersionLedger()
+        ledger.write_storage((1, 7), 4)
+        ledger.write_storage((1, 7), 2)  # stale async write completes late
+        assert ledger.storage_version((1, 7)) == 4
+
+
+class TestVerification:
+    def test_check_read_accepts_current(self):
+        ledger = VersionLedger()
+        ledger.install_commit((0, 1), 2)
+        ledger.check_read((0, 1), 2, source="buffer")
+
+    def test_check_read_rejects_stale(self):
+        ledger = VersionLedger()
+        ledger.install_commit((0, 1), 2)
+        with pytest.raises(CoherencyError, match="stale read"):
+            ledger.check_read((0, 1), 1, source="buffer")
+
+    def test_check_storage_current(self):
+        ledger = VersionLedger()
+        ledger.write_storage((0, 1), 3)
+        assert ledger.check_storage_current((0, 1), 3) == 3
+        with pytest.raises(CoherencyError):
+            ledger.check_storage_current((0, 1), 2)

@@ -1,0 +1,82 @@
+"""Unit tests for partitions and databases."""
+
+import pytest
+
+from repro.db.schema import Database, Partition, StorageKind
+
+
+class TestPartition:
+    def test_page_of_record_uses_blocking_factor(self):
+        p = Partition("ACCOUNT", 0, num_pages=100, blocking_factor=10)
+        assert p.page_of_record(0) == 0
+        assert p.page_of_record(9) == 0
+        assert p.page_of_record(10) == 1
+        assert p.page_of_record(999) == 99
+
+    def test_negative_record_rejected(self):
+        p = Partition("A", 0, num_pages=10)
+        with pytest.raises(ValueError):
+            p.page_of_record(-1)
+
+    def test_page_id_encodes_partition_index(self):
+        p = Partition("A", 3, num_pages=10)
+        assert p.page_id(7) == (3, 7)
+
+    def test_page_id_range_checked(self):
+        p = Partition("A", 0, num_pages=10)
+        with pytest.raises(ValueError):
+            p.page_id(10)
+        with pytest.raises(ValueError):
+            p.page_id(-1)
+
+    def test_unbounded_partition_accepts_any_page(self):
+        p = Partition("HISTORY", 0, num_pages=None, blocking_factor=20)
+        assert p.page_id(10**12) == (0, 10**12)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Partition("A", 0, num_pages=0)
+        with pytest.raises(ValueError):
+            Partition("A", 0, num_pages=10, blocking_factor=0)
+        with pytest.raises(ValueError):
+            Partition("A", 0, num_pages=10, disks=0)
+
+    def test_storage_kind_coerced(self):
+        p = Partition("A", 0, num_pages=10, storage="gem")
+        assert p.storage is StorageKind.GEM
+
+
+class TestDatabase:
+    def _partitions(self):
+        return [
+            Partition("BT", 0, num_pages=100, blocking_factor=11),
+            Partition("ACCOUNT", 1, num_pages=1000, blocking_factor=10),
+            Partition("HISTORY", 2, num_pages=None, lockable=False),
+        ]
+
+    def test_lookup_by_name_and_index(self):
+        db = Database(self._partitions())
+        assert db["ACCOUNT"].index == 1
+        assert db.by_index(2).name == "HISTORY"
+        assert "BT" in db
+        assert "XX" not in db
+        assert len(db) == 3
+
+    def test_duplicate_names_rejected(self):
+        parts = self._partitions()
+        parts[1] = Partition("BT", 1, num_pages=10)
+        with pytest.raises(ValueError):
+            Database(parts)
+
+    def test_index_mismatch_rejected(self):
+        parts = [Partition("A", 1, num_pages=10)]
+        with pytest.raises(ValueError):
+            Database(parts)
+
+    def test_total_pages_skips_unbounded(self):
+        db = Database(self._partitions())
+        assert db.total_pages() == 1100
+
+    def test_iteration_order(self):
+        db = Database(self._partitions())
+        assert [p.name for p in db] == ["BT", "ACCOUNT", "HISTORY"]

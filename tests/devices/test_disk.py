@@ -1,0 +1,204 @@
+"""Unit tests for the disk array model."""
+
+import pytest
+
+from repro.db.pages import VersionLedger
+from repro.devices.disk import DiskArray
+from repro.devices.disk_cache import DiskCache
+from repro.sim import Simulator, StreamRegistry
+
+
+class _ConstantStream:
+    """Deterministic stand-in for a random stream: exponential(mean)=mean."""
+
+    def exponential(self, mean):
+        return mean
+
+
+def make_array(sim, ledger=None, cache=None, num_disks=2, **kwargs):
+    return DiskArray(
+        sim,
+        "test",
+        num_disks=num_disks,
+        ledger=ledger or VersionLedger(),
+        stream=_ConstantStream(),
+        disk_time=0.015,
+        controller_time=0.001,
+        transfer_time=0.0004,
+        cache=cache,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTiming:
+    def test_read_takes_full_path(self, sim):
+        array = make_array(sim)
+        done = []
+
+        def proc():
+            yield from array.read((0, 1))
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        # controller 1ms + transfer 0.4ms + disk 15ms = 16.4ms.
+        assert done == [pytest.approx(0.0164)]
+
+    def test_write_takes_full_path_and_updates_ledger(self, sim):
+        ledger = VersionLedger()
+        array = make_array(sim, ledger=ledger)
+        done = []
+
+        def proc():
+            yield from array.write((0, 1), 3)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(0.0164)]
+        assert ledger.storage_version((0, 1)) == 3
+
+    def test_write_without_version_skips_ledger(self, sim):
+        ledger = VersionLedger()
+        array = make_array(sim, ledger=ledger)
+
+        def proc():
+            yield from array.write((0, 1), None)
+
+        sim.process(proc())
+        sim.run()
+        assert ledger.storage_version((0, 1)) == 0
+
+    def test_read_returns_storage_version(self, sim):
+        ledger = VersionLedger()
+        ledger.write_storage((0, 1), 7)
+        array = make_array(sim, ledger=ledger)
+        versions = []
+
+        def proc():
+            version = yield from array.read((0, 1))
+            versions.append(version)
+
+        sim.process(proc())
+        sim.run()
+        assert versions == [7]
+
+
+class TestDeclustering:
+    def test_same_page_same_disk(self, sim):
+        array = make_array(sim, num_disks=4)
+        assert array._disk_for((0, 5)) is array._disk_for((0, 5))
+
+    def test_pages_spread_over_disks(self, sim):
+        array = make_array(sim, num_disks=4)
+        disks = {id(array._disk_for((0, p))) for p in range(64)}
+        assert len(disks) == 4
+
+    def test_spread_accesses_round_robin(self, sim):
+        array = make_array(sim, num_disks=3)
+        array.spread_accesses = True
+        first = array._disk_for((0, 5))
+        second = array._disk_for((0, 5))
+        assert first is not second
+
+    def test_queueing_on_one_disk(self, sim):
+        array = make_array(sim, num_disks=1)
+        done = []
+
+        def proc():
+            yield from array.read((0, 1))
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert done[1] > done[0]
+
+    def test_invalid_disk_count_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_array(sim, num_disks=0)
+
+
+class TestVolatileCache:
+    def test_read_hit_skips_disk(self, sim):
+        cache = DiskCache(8, nonvolatile=False)
+        array = make_array(sim, cache=cache)
+        times = []
+
+        def proc():
+            yield from array.read((0, 1))  # miss: 16.4ms
+            start = sim.now
+            yield from array.read((0, 1))  # hit: 1.4ms
+            times.append(sim.now - start)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [pytest.approx(0.0014)]
+        assert array.disk_reads == 1
+
+    def test_write_goes_to_disk(self, sim):
+        cache = DiskCache(8, nonvolatile=False)
+        array = make_array(sim, cache=cache)
+        done = []
+
+        def proc():
+            yield from array.write((0, 1), 1)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(0.0164)]
+        assert array.disk_writes == 1
+
+
+class TestNonVolatileCache:
+    def test_write_absorbed_fast(self, sim):
+        cache = DiskCache(8, nonvolatile=True)
+        ledger = VersionLedger()
+        array = make_array(sim, ledger=ledger, cache=cache)
+        done = []
+
+        def proc():
+            yield from array.write((0, 1), 2)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=0.002)
+        # Durable after controller+transfer only (1.4ms).
+        assert done == [pytest.approx(0.0014)]
+        assert ledger.storage_version((0, 1)) == 2
+
+    def test_destage_happens_in_background(self, sim):
+        cache = DiskCache(8, nonvolatile=True)
+        array = make_array(sim, cache=cache)
+
+        def proc():
+            yield from array.write((0, 1), 2)
+
+        sim.process(proc())
+        sim.run(until=1.0)
+        assert array.disk_writes == 1
+        assert not cache.is_dirty((0, 1))
+
+    def test_read_after_nv_write_hits_cache(self, sim):
+        cache = DiskCache(8, nonvolatile=True)
+        ledger = VersionLedger()
+        array = make_array(sim, ledger=ledger, cache=cache)
+        results = []
+
+        def proc():
+            yield from array.write((0, 1), 2)
+            start = sim.now
+            version = yield from array.read((0, 1))
+            results.append((version, sim.now - start))
+
+        sim.process(proc())
+        sim.run()
+        version, elapsed = results[0]
+        assert version == 2
+        assert elapsed == pytest.approx(0.0014)

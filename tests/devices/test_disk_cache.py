@@ -1,0 +1,108 @@
+"""Unit tests for the LRU disk cache."""
+
+import pytest
+
+from repro.devices.disk_cache import DiskCache
+
+
+class TestLruBehaviour:
+    def test_miss_then_hit(self):
+        cache = DiskCache(4, nonvolatile=False)
+        assert not cache.lookup_for_read((0, 1))
+        cache.insert((0, 1))
+        assert cache.lookup_for_read((0, 1))
+        assert cache.read_hits == 1
+        assert cache.read_misses == 1
+
+    def test_capacity_eviction_is_lru(self):
+        cache = DiskCache(2, nonvolatile=False)
+        cache.insert((0, 1))
+        cache.insert((0, 2))
+        evicted = cache.insert((0, 3))
+        assert evicted == (0, 1)
+        assert (0, 2) in cache
+        assert (0, 3) in cache
+
+    def test_read_hit_refreshes_recency(self):
+        cache = DiskCache(2, nonvolatile=False)
+        cache.insert((0, 1))
+        cache.insert((0, 2))
+        cache.lookup_for_read((0, 1))
+        evicted = cache.insert((0, 3))
+        assert evicted == (0, 2)
+
+    def test_reinsert_refreshes_without_eviction(self):
+        cache = DiskCache(2, nonvolatile=False)
+        cache.insert((0, 1))
+        cache.insert((0, 2))
+        assert cache.insert((0, 1)) is None
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables_cache(self):
+        cache = DiskCache(0, nonvolatile=False)
+        assert cache.insert((0, 1)) is None
+        assert not cache.lookup_for_read((0, 1))
+        assert not cache.note_write((0, 1))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DiskCache(-1, nonvolatile=False)
+
+    def test_hit_ratio(self):
+        cache = DiskCache(4, nonvolatile=False)
+        cache.insert((0, 1))
+        cache.lookup_for_read((0, 1))
+        cache.lookup_for_read((0, 2))
+        assert cache.hit_ratio() == pytest.approx(0.5)
+
+
+class TestVolatileWrites:
+    def test_write_not_absorbed(self):
+        cache = DiskCache(4, nonvolatile=False)
+        assert cache.note_write((0, 1)) is False
+
+    def test_write_does_not_allocate(self):
+        cache = DiskCache(4, nonvolatile=False)
+        cache.note_write((0, 1))
+        assert (0, 1) not in cache
+
+    def test_write_refreshes_cached_copy(self):
+        cache = DiskCache(2, nonvolatile=False)
+        cache.insert((0, 1))
+        cache.insert((0, 2))
+        cache.note_write((0, 1))  # write-through refresh
+        evicted = cache.insert((0, 3))
+        assert evicted == (0, 2)
+
+
+class TestNonVolatileWrites:
+    def test_write_absorbed_and_dirty(self):
+        cache = DiskCache(4, nonvolatile=True)
+        assert cache.note_write((0, 1)) is True
+        assert (0, 1) in cache
+        assert cache.is_dirty((0, 1))
+        assert cache.write_hits == 1
+
+    def test_mark_clean_after_destage(self):
+        cache = DiskCache(4, nonvolatile=True)
+        cache.note_write((0, 1))
+        cache.mark_clean((0, 1))
+        assert not cache.is_dirty((0, 1))
+
+    def test_dirty_pages_listing(self):
+        cache = DiskCache(4, nonvolatile=True)
+        cache.note_write((0, 1))
+        cache.insert((0, 2), dirty=False)
+        assert cache.dirty_pages() == [(0, 1)]
+
+    def test_dirty_flag_sticky_on_refresh(self):
+        cache = DiskCache(4, nonvolatile=True)
+        cache.note_write((0, 1))
+        cache.insert((0, 1), dirty=False)  # read re-insert
+        assert cache.is_dirty((0, 1))
+
+    def test_eviction_of_dirty_page_allowed(self):
+        cache = DiskCache(1, nonvolatile=True)
+        cache.note_write((0, 1))
+        evicted = cache.insert((0, 2))
+        assert evicted == (0, 1)

@@ -1,0 +1,153 @@
+"""Unit tests for the network model and the storage directory."""
+
+import pytest
+
+from repro.db.pages import CoherencyError, VersionLedger
+from repro.devices.disk import DiskArray
+from repro.devices.gem import GemDevice
+from repro.devices.network import Network
+from repro.devices.storage import StorageDirectory
+from repro.node.cpu import CpuPool
+from repro.sim import Simulator, StreamRegistry
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestNetwork:
+    def test_transmission_time_from_bandwidth(self, sim):
+        net = Network(sim, bandwidth=10e6)
+        done = []
+
+        def proc():
+            yield from net.transmit(100)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(100 / 10e6)]
+
+    def test_shared_medium_serializes(self, sim):
+        net = Network(sim, bandwidth=10e6)
+        done = []
+
+        def proc():
+            yield from net.transmit(4096)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert done[1] == pytest.approx(2 * 4096 / 10e6)
+
+    def test_byte_accounting(self, sim):
+        net = Network(sim, bandwidth=10e6)
+
+        def proc():
+            yield from net.transmit(100)
+            yield from net.transmit(4096)
+
+        sim.process(proc())
+        sim.run()
+        assert net.bytes_transmitted == 4196
+        assert net.messages == 2
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            Network(sim, bandwidth=0)
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            list(net.transmit(0))
+
+
+class TestStorageDirectory:
+    def _make(self, sim):
+        ledger = VersionLedger()
+        streams = StreamRegistry(1)
+        directory = StorageDirectory(sim, ledger, 3000.0, 300.0)
+        disk = DiskArray(
+            sim, "d", 2, ledger, streams.stream("d"), disk_time=0.015
+        )
+        gem = GemDevice(sim, page_access_time=50e-6)
+        directory.assign(0, disk)
+        directory.assign(1, gem)
+        log = DiskArray(sim, "log", 1, ledger, streams.stream("l"), disk_time=0.005)
+        directory.assign_log_disks([log])
+        cpu = CpuPool(sim, 1, 10.0, streams.stream("cpu"))
+        return directory, ledger, cpu, disk, gem, log
+
+    def test_disk_read_charges_cpu_then_device(self, sim):
+        directory, ledger, cpu, disk, _gem, _log = self._make(sim)
+        done = []
+
+        def proc():
+            yield from directory.read((0, 1), cpu)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        # 3000 instr at 10 MIPS = 0.3ms CPU, then the disk path.
+        assert done[0] > 0.0003
+        assert disk.reads == 1
+
+    def test_gem_write_durable_and_fast(self, sim):
+        directory, ledger, cpu, _disk, gem, _log = self._make(sim)
+        done = []
+
+        def proc():
+            yield from directory.write((1, 5), 2, cpu)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        # 300 instr (30us) + 50us GEM access.
+        assert done == [pytest.approx(80e-6)]
+        assert ledger.storage_version((1, 5)) == 2
+        assert gem.page_accesses == 1
+
+    def test_gem_access_holds_cpu(self, sim):
+        directory, _ledger, cpu, _disk, _gem, _log = self._make(sim)
+        order = []
+
+        def gem_writer():
+            yield from directory.write((1, 5), 1, cpu)
+            order.append(("gem", sim.now))
+
+        def cpu_user():
+            yield from cpu.consume(1000)  # 0.1ms
+            order.append(("cpu", sim.now))
+
+        sim.process(gem_writer())
+        sim.process(cpu_user())
+        sim.run()
+        # The single CPU is held across the whole GEM access, so the
+        # other work only starts after 80us.
+        assert order[0][0] == "gem"
+        assert order[1][1] == pytest.approx(80e-6 + 100e-6)
+
+    def test_gem_write_without_version(self, sim):
+        directory, ledger, cpu, _disk, _gem, _log = self._make(sim)
+
+        def proc():
+            yield from directory.write((1, 5), None, cpu)
+
+        sim.process(proc())
+        sim.run()
+        assert ledger.storage_version((1, 5)) == 0
+
+    def test_log_write_uses_node_log_disk(self, sim):
+        directory, _ledger, cpu, _disk, _gem, log = self._make(sim)
+
+        def proc():
+            yield from directory.write_log(0, cpu)
+
+        sim.process(proc())
+        sim.run()
+        assert log.writes == 1
+
+    def test_is_gem_resident(self, sim):
+        directory, *_ = self._make(sim)
+        assert not directory.is_gem_resident(0)
+        assert directory.is_gem_resident(1)

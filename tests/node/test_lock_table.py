@@ -1,0 +1,250 @@
+"""Unit tests for the strict 2PL lock table."""
+
+import pytest
+
+from repro.node.lock_table import LockMode, LockTable
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+PAGE = (0, 1)
+
+
+def noop():
+    pass
+
+
+@pytest.fixture
+def table():
+    return LockTable("t")
+
+
+class TestBasicGrants:
+    def test_first_request_granted(self, table):
+        assert table.request(1, PAGE, X, noop)
+        assert table.holds(1, PAGE) is X
+
+    def test_shared_locks_compatible(self, table):
+        assert table.request(1, PAGE, S, noop)
+        assert table.request(2, PAGE, S, noop)
+        assert table.holds(2, PAGE) is S
+
+    def test_exclusive_blocks_shared(self, table):
+        assert table.request(1, PAGE, X, noop)
+        assert not table.request(2, PAGE, S, noop)
+        assert table.is_blocked(2)
+
+    def test_shared_blocks_exclusive(self, table):
+        assert table.request(1, PAGE, S, noop)
+        assert not table.request(2, PAGE, X, noop)
+
+    def test_rerequest_same_mode_granted(self, table):
+        assert table.request(1, PAGE, X, noop)
+        assert table.request(1, PAGE, X, noop)
+
+    def test_shared_rerequest_under_exclusive_granted(self, table):
+        assert table.request(1, PAGE, X, noop)
+        assert table.request(1, PAGE, S, noop)
+        assert table.holds(1, PAGE) is X  # X covers S
+
+    def test_independent_pages(self, table):
+        assert table.request(1, PAGE, X, noop)
+        assert table.request(2, (0, 2), X, noop)
+
+
+class TestReleaseAndQueue:
+    def test_release_grants_next_waiter(self, table):
+        granted = []
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, X, lambda: granted.append(2))
+        result = table.release(1, PAGE)
+        assert granted == [2]
+        assert result == [(2, X)]
+        assert table.holds(2, PAGE) is X
+
+    def test_fifo_order(self, table):
+        granted = []
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, X, lambda: granted.append(2))
+        table.request(3, PAGE, X, lambda: granted.append(3))
+        table.release(1, PAGE)
+        assert granted == [2]
+        table.release(2, PAGE)
+        assert granted == [2, 3]
+
+    def test_batch_grant_of_compatible_readers(self, table):
+        granted = []
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, S, lambda: granted.append(2))
+        table.request(3, PAGE, S, lambda: granted.append(3))
+        table.release(1, PAGE)
+        assert granted == [2, 3]
+
+    def test_reader_batch_stops_at_writer(self, table):
+        granted = []
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, S, lambda: granted.append(2))
+        table.request(3, PAGE, X, lambda: granted.append(3))
+        table.request(4, PAGE, S, lambda: granted.append(4))
+        table.release(1, PAGE)
+        assert granted == [2]  # X of 3 blocks 4 (FIFO fairness)
+
+    def test_release_unheld_lock_raises(self, table):
+        with pytest.raises(KeyError):
+            table.release(1, PAGE)
+
+    def test_release_all(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(1, (0, 2), S, noop)
+        table.release_all(1, [PAGE, (0, 2)])
+        assert table.holds(1, PAGE) is None
+        assert table.holds(1, (0, 2)) is None
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades_immediately(self, table):
+        table.request(1, PAGE, S, noop)
+        assert table.request(1, PAGE, X, noop)
+        assert table.holds(1, PAGE) is X
+
+    def test_upgrade_waits_for_other_readers(self, table):
+        granted = []
+        table.request(1, PAGE, S, noop)
+        table.request(2, PAGE, S, noop)
+        assert not table.request(1, PAGE, X, lambda: granted.append(1))
+        table.release(2, PAGE)
+        assert granted == [1]
+        assert table.holds(1, PAGE) is X
+
+    def test_upgrade_jumps_queue(self, table):
+        granted = []
+        table.request(1, PAGE, S, noop)
+        table.request(2, PAGE, S, noop)
+        table.request(3, PAGE, X, lambda: granted.append(3))
+        assert not table.request(1, PAGE, X, lambda: granted.append(1))
+        table.release(2, PAGE)
+        # Upgrader 1 is served before queued writer 3.
+        assert granted == [1]
+        table.release(1, PAGE)
+        assert granted == [1, 3]
+
+    def test_two_upgraders_deadlock_shape(self, table):
+        # Both hold S and queue for X: neither can be granted -- the
+        # wait graph shows the mutual block for the deadlock detector.
+        table.request(1, PAGE, S, noop)
+        table.request(2, PAGE, S, noop)
+        assert not table.request(1, PAGE, X, noop)
+        assert not table.request(2, PAGE, X, noop)
+        assert 2 in table.waiting_for(1)
+        assert 1 in table.waiting_for(2)
+
+
+class TestCancel:
+    def test_cancel_removes_queued_request(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, X, noop)
+        table.cancel(2, PAGE)
+        assert not table.is_blocked(2)
+        granted = table.release(1, PAGE)
+        assert granted == []
+
+    def test_cancel_promotes_next(self, table):
+        granted = []
+        table.request(1, PAGE, S, noop)
+        table.request(2, PAGE, X, noop)
+        table.request(3, PAGE, S, lambda: granted.append(3))
+        table.cancel(2, PAGE)
+        # With the writer gone, the queued reader joins holder 1.
+        assert granted == [3]
+
+    def test_cancel_missing_request_is_noop(self, table):
+        assert table.cancel(1, PAGE) == []
+
+
+class TestWaitsFor:
+    def test_waiter_blocked_by_holder(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, S, noop)
+        assert table.waiting_for(2) == {1}
+
+    def test_waiter_blocked_by_queued_ahead(self, table):
+        table.request(1, PAGE, S, noop)
+        table.request(2, PAGE, X, noop)
+        table.request(3, PAGE, S, noop)
+        # 3 waits for the queued writer 2 directly; the edge to holder
+        # 1 is transitive (2 waits for 1), which suffices for cycle
+        # detection.
+        assert table.waiting_for(3) == {2}
+        assert table.waiting_for(2) == {1}
+
+    def test_reader_not_blocked_by_reader_ahead(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, S, noop)
+        table.request(3, PAGE, S, noop)
+        assert table.waiting_for(3) == {1}
+
+    def test_unblocked_txn_waits_for_nothing(self, table):
+        table.request(1, PAGE, X, noop)
+        assert table.waiting_for(1) == set()
+
+    def test_blocked_page(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, X, noop)
+        assert table.blocked_page(2) == PAGE
+        assert table.blocked_page(1) is None
+
+
+class TestMetadataAndInvariants:
+    def test_entry_metadata_persists_after_release(self, table):
+        table.request(1, PAGE, X, noop)
+        entry = table.entry(PAGE)
+        entry.seqno = 5
+        entry.owner = 3
+        table.release(1, PAGE)
+        entry = table.entry(PAGE)
+        assert entry.seqno == 5
+        assert entry.owner == 3
+
+    def test_double_block_rejected(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, X, noop)
+        with pytest.raises(RuntimeError):
+            table.request(2, (0, 9), X, noop)
+
+    def test_statistics(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(2, PAGE, X, noop)
+        assert table.requests == 2
+        assert table.immediate_grants == 1
+        assert table.waits == 1
+
+    def test_held_pages(self, table):
+        table.request(1, PAGE, X, noop)
+        table.request(1, (0, 2), S, noop)
+        assert sorted(table.held_pages(1)) == [(0, 1), (0, 2)]
+
+    def test_no_incompatible_coholders_ever(self, table):
+        # Exercise a random-ish interleaving and assert the core 2PL
+        # invariant after every step.
+        import random
+
+        rng = random.Random(7)
+        held = {}
+
+        def check():
+            entry = table.peek(PAGE)
+            if entry is None:
+                return
+            modes = list(entry.holders.values())
+            if any(m is X for m in modes):
+                assert len(modes) == 1
+
+        for step in range(300):
+            txn = rng.randint(1, 5)
+            if table.is_blocked(txn):
+                continue
+            if table.holds(txn, PAGE) and rng.random() < 0.5:
+                table.release(txn, PAGE)
+            else:
+                mode = X if rng.random() < 0.3 else S
+                table.request(txn, PAGE, mode, noop)
+            check()

@@ -1,0 +1,156 @@
+"""Unit tests for the transaction manager (lifecycle, lock reuse, MPL)."""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.workload.transaction import PageAccess, Transaction
+
+from tests.helpers import drive_cluster as drive
+
+
+def make_cluster(**overrides):
+    defaults = dict(
+        num_nodes=1,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        arrival_rate_per_node=1e-6,
+        warmup_time=0.0,
+        measure_time=1.0,
+    )
+    defaults.update(overrides)
+    return Cluster(SystemConfig(**defaults))
+
+
+def submit_and_settle(cluster, txn, horizon=10.0):
+    cluster.nodes[txn.node or 0].tm.submit(txn)
+
+    def wait():
+        yield cluster.sim.timeout(1.0)
+
+    drive(cluster, wait(), horizon=horizon)
+
+
+class TestLifecycle:
+    def test_simple_transaction_completes(self):
+        cluster = make_cluster()
+        txn = Transaction(
+            1, [PageAccess((0, 3), write=True), PageAccess((1, 5), write=False)]
+        )
+        txn.node = 0
+        submit_and_settle(cluster, txn)
+        node = cluster.nodes[0]
+        assert node.completions.count == 1
+        assert node.response_time.count == 1
+        assert cluster.ledger.committed_version((0, 3)) == 1
+        # All locks released.
+        assert not txn.held_locks
+
+    def test_generator_transaction_via_source_path(self):
+        cluster = make_cluster()
+        txn = cluster.generator.next_transaction()
+        node_id = cluster.router.route(txn)
+        cluster.nodes[node_id].tm.submit(txn)
+
+        def wait():
+            yield cluster.sim.timeout(1.0)
+
+        drive(cluster, wait())
+        assert cluster.nodes[node_id].completions.count == 1
+
+    def test_history_placeholder_materialized(self):
+        cluster = make_cluster()
+        txn = cluster.generator.next_transaction()
+        history_access = txn.accesses[1]
+        assert history_access.page[1] == -1
+        cluster.nodes[0].tm.submit(txn)
+
+        def wait():
+            yield cluster.sim.timeout(1.0)
+
+        drive(cluster, wait())
+        assert history_access.page[1] != -1
+
+    def test_history_pages_advance_with_blocking_factor(self):
+        cluster = make_cluster()
+        bf = cluster.config.debit_credit.history_blocking_factor
+        node = cluster.nodes[0]
+        history_index = cluster.layout.history.index
+        pages = {node.next_history_page(history_index, bf) for _ in range(bf)}
+        assert len(pages) == 1  # first bf appends share one page
+        next_page = node.next_history_page(history_index, bf)
+        assert next_page not in pages
+
+    def test_response_time_includes_input_queue(self):
+        cluster = make_cluster(mpl_per_node=1)
+        slow = Transaction(1, [PageAccess((0, 1), write=True)])
+        fast = Transaction(2, [PageAccess((0, 2), write=True)])
+        slow.node = fast.node = 0
+        cluster.nodes[0].tm.submit(slow)
+        cluster.nodes[0].tm.submit(fast)
+
+        def wait():
+            yield cluster.sim.timeout(2.0)
+
+        drive(cluster, wait())
+        node = cluster.nodes[0]
+        assert node.completions.count == 2
+        # The second transaction queued behind the first (MPL=1), so
+        # its response time exceeds its bare service time.
+        assert node.response_time.max > node.response_time.min
+
+
+class TestLockReuse:
+    def test_lock_acquired_once_per_page(self):
+        cluster = make_cluster()
+        page = (0, 9)
+        txn = Transaction(
+            1,
+            [
+                PageAccess(page, write=True),
+                PageAccess(page, write=True),
+                PageAccess(page, write=False),
+            ],
+        )
+        txn.node = 0
+        submit_and_settle(cluster, txn)
+        # One GLT request despite three accesses.
+        assert cluster.protocol.glt.requests == 1
+
+    def test_upgrade_after_read(self):
+        cluster = make_cluster()
+        page = (0, 9)
+        txn = Transaction(
+            1, [PageAccess(page, write=False), PageAccess(page, write=True)]
+        )
+        txn.node = 0
+        submit_and_settle(cluster, txn)
+        assert cluster.nodes[0].completions.count == 1
+        assert cluster.ledger.committed_version(page) == 1
+        # Two GLT interactions: S then the upgrade to X.
+        assert cluster.protocol.glt.requests == 2
+
+
+class TestDeadlockRestart:
+    def test_victim_restarts_and_completes(self):
+        cluster = make_cluster(num_nodes=2, routing="random")
+        page_a, page_b = (0, 1), (0, 2)
+        t1 = Transaction(1, [PageAccess(page_a, True), PageAccess(page_b, True)])
+        t2 = Transaction(2, [PageAccess(page_b, True), PageAccess(page_a, True)])
+        t1.node, t2.node = 0, 1
+        cluster.nodes[0].tm.submit(t1)
+        cluster.nodes[1].tm.submit(t2)
+
+        def wait():
+            yield cluster.sim.timeout(3.0)
+
+        drive(cluster, wait(), horizon=20.0)
+        completions = sum(n.completions.count for n in cluster.nodes)
+        aborts = sum(n.aborts.count for n in cluster.nodes)
+        assert completions == 2  # both finish, one after restarting
+        assert aborts >= 1
+        assert cluster.detector.deadlocks_detected >= 1
+        # Both updates committed (serializable outcome).
+        assert cluster.ledger.committed_version(page_a) == 2
+        assert cluster.ledger.committed_version(page_b) == 2

@@ -1,0 +1,129 @@
+"""Property-based tests for the simulation kernel."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.stats import Tally, TimeWeighted
+
+
+class TestEventOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_timeouts_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            fired.append((sim.now, tag))
+
+        for tag, delay in enumerate(delays):
+            sim.process(proc(delay, tag))
+        sim.run()
+        times = [t for t, _tag in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_equal_times_preserve_schedule_order(self, delays):
+        sim = Simulator()
+        fired = []
+        common = 5.0
+
+        def proc(tag):
+            yield sim.timeout(common)
+            fired.append(tag)
+
+        for tag in range(len(delays)):
+            sim.process(proc(tag))
+        sim.run()
+        assert fired == list(range(len(delays)))
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_clock_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def proc(delay):
+            yield sim.timeout(delay)
+            observed.append(sim.now)
+            yield sim.timeout(delay)
+            observed.append(sim.now)
+
+        for delay in delays:
+            sim.process(proc(delay))
+        last = -1.0
+        while sim.peek() != math.inf:
+            sim.step()
+            assert sim.now >= last
+            last = sim.now
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=80)
+    def test_tally_matches_reference_statistics(self, values):
+        import statistics
+
+        tally = Tally()
+        for value in values:
+            tally.record(value)
+        assert tally.count == len(values)
+        assert tally.mean == pytest_approx(statistics.fmean(values))
+        assert tally.min == min(values)
+        assert tally.max == max(values)
+        if len(values) > 1:
+            assert tally.variance == pytest_approx(statistics.variance(values))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+                st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=80)
+    def test_timeweighted_matches_manual_integration(self, steps):
+        tw = TimeWeighted(initial=0.0, now=0.0)
+        now = 0.0
+        area = 0.0
+        value = 0.0
+        for dt, new_value in steps:
+            area += value * dt
+            now += dt
+            tw.update(new_value, now=now)
+            value = new_value
+        horizon = now + 1.0
+        area += value * 1.0
+        assert tw.time_average(horizon) == pytest_approx(area / horizon)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3,
+                              allow_nan=False), min_size=2, max_size=100),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_percentiles_bounded_and_monotonic(self, values, q):
+        tally = Tally(keep_samples=True)
+        for value in values:
+            tally.record(value)
+        p = tally.percentile(q)
+        assert min(values) <= p <= max(values)
+        assert tally.percentile(0.0) <= tally.percentile(1.0)
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-6, abs=1e-6)

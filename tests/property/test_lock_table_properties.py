@@ -1,0 +1,100 @@
+"""Property-based tests for the lock table's 2PL invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.node.lock_table import LockMode, LockTable
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+PAGES = [(0, 0), (0, 1), (0, 2)]
+TXNS = list(range(1, 7))
+
+
+def noop():
+    pass
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    """Random lock/release sequences preserving the 2PL invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = LockTable()
+        self.granted = {}  # (txn, page) -> mode
+
+    @rule(
+        txn=st.sampled_from(TXNS),
+        page=st.sampled_from(PAGES),
+        exclusive=st.booleans(),
+    )
+    def request(self, txn, page, exclusive):
+        if self.table.is_blocked(txn):
+            return
+        mode = X if exclusive else S
+
+        def on_grant(t=txn, p=page, m=mode):
+            self.granted[(t, p)] = m
+
+        if self.table.request(txn, page, mode, on_grant):
+            held = self.table.holds(txn, page)
+            self.granted[(txn, page)] = held
+
+    @rule(txn=st.sampled_from(TXNS), page=st.sampled_from(PAGES))
+    def release(self, txn, page):
+        if self.table.is_blocked(txn):
+            return
+        if self.table.holds(txn, page) is None:
+            return
+        self.table.release(txn, page)
+        self.granted.pop((txn, page), None)
+
+    @rule(txn=st.sampled_from(TXNS))
+    def cancel(self, txn):
+        page = self.table.blocked_page(txn)
+        if page is not None:
+            self.table.cancel(txn, page)
+
+    @invariant()
+    def no_incompatible_coholders(self):
+        for page in PAGES:
+            entry = self.table.peek(page)
+            if entry is None:
+                continue
+            modes = list(entry.holders.values())
+            if any(m is X for m in modes):
+                assert len(modes) == 1, f"X co-held on {page}: {entry.holders}"
+
+    @invariant()
+    def blocked_txns_have_queue_entries(self):
+        for txn in TXNS:
+            page = self.table.blocked_page(txn)
+            if page is None:
+                continue
+            entry = self.table.peek(page)
+            assert entry is not None
+            assert any(req.txn == txn for req in entry.queue)
+
+    @invariant()
+    def no_grantable_head_left_waiting(self):
+        """The queue head is only left waiting if actually blocked."""
+        for page in PAGES:
+            entry = self.table.peek(page)
+            if entry is None or not entry.queue:
+                continue
+            head = entry.queue[0]
+            if head.upgrade:
+                others = [t for t in entry.holders if t != head.txn]
+                assert others, "grantable upgrade left queued"
+            elif head.mode is S:
+                assert any(
+                    m is X for m in entry.holders.values()
+                ), "grantable S request left queued"
+            else:
+                assert entry.holders, "grantable X request left queued"
+
+
+TestLockTableMachine = LockTableMachine.TestCase
+TestLockTableMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

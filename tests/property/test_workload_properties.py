@@ -1,0 +1,114 @@
+"""Property-based tests for workload generation, traces and routing."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.gla import build_gla_map
+from repro.routing.routing_table import build_routing_table
+from repro.sim import StreamRegistry
+from repro.sim.rng import zipf_weights
+from repro.workload.trace import Trace, TraceReference, TraceTransaction
+
+
+references = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 1000), st.booleans()),
+    max_size=20,
+)
+transactions = st.lists(
+    st.tuples(st.integers(0, 6), references), min_size=1, max_size=30
+)
+
+
+def build_trace(spec):
+    txns = [
+        TraceTransaction(t, [TraceReference(f, p, w) for f, p, w in refs])
+        for t, refs in spec
+    ]
+    return Trace(txns, num_files=5)
+
+
+class TestTraceRoundTrip:
+    @given(spec=transactions)
+    @settings(max_examples=60)
+    def test_save_load_identity(self, spec):
+        trace = build_trace(spec)
+        buffer = io.StringIO()
+        trace.write_to(buffer)
+        buffer.seek(0)
+        loaded = Trace.read_from(buffer)
+        assert len(loaded) == len(trace)
+        assert loaded.num_references() == trace.num_references()
+        assert loaded.distinct_pages() == trace.distinct_pages()
+        assert loaded.write_reference_fraction() == trace.write_reference_fraction()
+        for a, b in zip(trace, loaded):
+            assert a.type_id == b.type_id
+            assert a.references == b.references
+
+
+class TestRoutingProperties:
+    @given(spec=transactions, num_nodes=st.integers(1, 5))
+    @settings(max_examples=50)
+    def test_routing_table_assigns_all_types_to_valid_nodes(
+        self, spec, num_nodes
+    ):
+        trace = build_trace(spec)
+        table = build_routing_table(trace, num_nodes)
+        for txn in trace:
+            assert 0 <= table.node_for(txn.type_id) < num_nodes
+
+    @given(spec=transactions, num_nodes=st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_routing_load_within_slack(self, spec, num_nodes):
+        trace = build_trace(spec)
+        table = build_routing_table(trace, num_nodes, balance_slack=1.25)
+        loads = [0] * num_nodes
+        for txn in trace:
+            loads[table.node_for(txn.type_id)] += len(txn.references)
+        total = sum(loads)
+        if total == 0 or num_nodes == 1:
+            return
+        # No node may exceed the cap by more than one (indivisible)
+        # type's volume.
+        biggest_type = max(
+            (len(t.references) for t in trace), default=0
+        )
+        cap = total / num_nodes * 1.25
+        assert max(loads) <= cap + biggest_type * 30  # types share ids
+
+    @given(spec=transactions, num_nodes=st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_gla_map_total_and_deterministic(self, spec, num_nodes):
+        trace = build_trace(spec)
+        table = build_routing_table(trace, num_nodes)
+        gla = build_gla_map(trace, table, num_nodes)
+        for txn in trace:
+            for ref in txn.references:
+                node = gla((ref.file_id, ref.page_no))
+                assert 0 <= node < num_nodes
+                assert node == gla((ref.file_id, ref.page_no))
+
+
+class TestRngProperties:
+    @given(n=st.integers(1, 500), theta=st.floats(0.0, 2.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_zipf_weights_cumulative_and_positive(self, n, theta):
+        weights = zipf_weights(n, theta)
+        assert len(weights) == n
+        assert weights[0] > 0
+        for earlier, later in zip(weights, weights[1:]):
+            assert later > earlier
+
+    @given(
+        seed=st.integers(0, 2**31),
+        n=st.integers(1, 100),
+        theta=st.floats(0.0, 1.5, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_weighted_index_in_bounds(self, seed, n, theta):
+        stream = StreamRegistry(seed).stream("w")
+        weights = zipf_weights(n, theta)
+        for _ in range(50):
+            index = stream.weighted_index(weights)
+            assert 0 <= index < n

@@ -1,0 +1,50 @@
+"""Unit tests for the routing strategies."""
+
+import pytest
+
+from repro.db.debitcredit import DebitCreditLayout
+from repro.routing.affinity import AffinityRouter
+from repro.routing.random_router import RandomRouter
+from repro.system.config import DebitCreditConfig
+from repro.workload.transaction import Transaction
+
+
+def txn(branch=None, type_id=0):
+    t = Transaction(1, [], type_id=type_id, branch=branch)
+    return t
+
+
+class TestRandomRouter:
+    def test_round_robin_balance(self):
+        router = RandomRouter(4)
+        nodes = [router.route(txn()) for _ in range(40)]
+        for node in range(4):
+            assert nodes.count(node) == 10
+
+    def test_single_node(self):
+        router = RandomRouter(1)
+        assert router.route(txn()) == 0
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            RandomRouter(0)
+
+
+class TestAffinityRouter:
+    def test_debit_credit_routes_by_branch(self):
+        layout = DebitCreditLayout(DebitCreditConfig(), num_nodes=4)
+        router = AffinityRouter.for_debit_credit(layout, 4)
+        assert router.route(txn(branch=0)) == 0
+        assert router.route(txn(branch=150)) == 1
+        assert router.route(txn(branch=399)) == 3
+
+    def test_missing_branch_rejected(self):
+        layout = DebitCreditLayout(DebitCreditConfig(), num_nodes=2)
+        router = AffinityRouter.for_debit_credit(layout, 2)
+        with pytest.raises(ValueError):
+            router.route(txn(branch=None))
+
+    def test_invalid_home_rejected(self):
+        router = AffinityRouter(lambda t: 9, num_nodes=2)
+        with pytest.raises(ValueError):
+            router.route(txn())

@@ -1,0 +1,130 @@
+"""Unit tests for the trace routing-table heuristic and GLA assignment."""
+
+import pytest
+
+from repro.routing.gla import build_gla_map
+from repro.routing.routing_table import (
+    RoutingTable,
+    build_routing_table,
+    type_segment_vectors,
+)
+from repro.workload.trace import Trace, TraceReference, TraceTransaction
+
+
+def make_trace(spec):
+    """spec: list of (type_id, [(file, page), ...]) tuples."""
+    transactions = [
+        TraceTransaction(
+            type_id, [TraceReference(f, p, False) for f, p in refs]
+        )
+        for type_id, refs in spec
+    ]
+    num_files = 1 + max(
+        (ref.file_id for t in transactions for ref in t.references), default=0
+    )
+    return Trace(transactions, num_files)
+
+
+class TestRoutingTable:
+    def test_node_for_known_and_unknown_types(self):
+        table = RoutingTable({0: 1, 1: 0}, num_nodes=2)
+        assert table.node_for(0) == 1
+        assert table.node_for(1) == 0
+        assert table.node_for(7) == 7 % 2  # deterministic fallback
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingTable({0: 5}, num_nodes=2)
+
+    def test_types_of(self):
+        table = RoutingTable({0: 1, 1: 0, 2: 1}, num_nodes=2)
+        assert table.types_of(1) == [0, 2]
+
+
+class TestSegmentVectors:
+    def test_vectors_count_references(self):
+        trace = make_trace([(0, [(0, 1), (0, 2), (1, 300)])])
+        vectors, volumes = type_segment_vectors(trace, segment_size=256)
+        assert volumes[0] == 3
+        assert vectors[0][(0, 0)] == 2
+        assert vectors[0][(1, 1)] == 1
+
+    def test_invalid_segment_size(self):
+        trace = make_trace([(0, [(0, 1)])])
+        with pytest.raises(ValueError):
+            type_segment_vectors(trace, segment_size=0)
+
+
+class TestBuildRoutingTable:
+    def test_single_node_maps_everything_to_zero(self):
+        trace = make_trace([(0, [(0, 1)]), (1, [(0, 2)])])
+        table = build_routing_table(trace, 1)
+        assert table.node_for(0) == 0
+        assert table.node_for(1) == 0
+
+    def test_overlapping_types_colocated(self):
+        # Types 0 and 1 share segment (0,0); types 2 and 3 share (1,0).
+        trace = make_trace(
+            [
+                (0, [(0, 1)] * 10),
+                (1, [(0, 2)] * 10),
+                (2, [(1, 1)] * 10),
+                (3, [(1, 2)] * 10),
+            ]
+        )
+        table = build_routing_table(trace, 2, segment_size=256)
+        assert table.node_for(0) == table.node_for(1)
+        assert table.node_for(2) == table.node_for(3)
+        assert table.node_for(0) != table.node_for(2)
+
+    def test_load_balance_cap_prevents_hot_node(self):
+        # Four equally sized disjoint types over two nodes: two each.
+        trace = make_trace(
+            [(t, [(t, 1)] * 10) for t in range(4)]
+        )
+        table = build_routing_table(trace, 2)
+        assignments = [table.node_for(t) for t in range(4)]
+        assert assignments.count(0) == 2
+        assert assignments.count(1) == 2
+
+    def test_invalid_node_count(self):
+        trace = make_trace([(0, [(0, 1)])])
+        with pytest.raises(ValueError):
+            build_routing_table(trace, 0)
+
+
+class TestGlaMap:
+    def test_gla_follows_dominant_referencing_node(self):
+        trace = make_trace(
+            [
+                (0, [(0, 1)] * 20),  # routed to some node n0
+                (1, [(1, 1)] * 20),  # routed to the other node
+            ]
+        )
+        table = build_routing_table(trace, 2)
+        gla = build_gla_map(trace, table, 2)
+        assert gla((0, 1)) == table.node_for(0)
+        assert gla((1, 1)) == table.node_for(1)
+
+    def test_unreferenced_segment_deterministic(self):
+        trace = make_trace([(0, [(0, 1)])])
+        table = build_routing_table(trace, 2)
+        gla = build_gla_map(trace, table, 2)
+        assert gla((5, 99999)) == gla((5, 99999))
+        assert gla((5, 99999)) in (0, 1)
+
+    def test_balance_cap_spreads_lock_load(self):
+        # One type generates all references; without the cap every
+        # segment would land on its node.
+        refs = [(0, p) for p in range(0, 256 * 8, 256)] * 5
+        trace = make_trace([(0, refs)])
+        table = build_routing_table(trace, 2)
+        gla = build_gla_map(trace, table, 2, balance_slack=1.0)
+        nodes = {gla((0, p)) for p in range(0, 256 * 8, 256)}
+        assert nodes == {0, 1}
+
+    def test_share_of(self):
+        trace = make_trace([(0, [(0, 1)] * 4), (1, [(1, 1)] * 4)])
+        table = build_routing_table(trace, 2)
+        gla = build_gla_map(trace, table, 2)
+        assert gla.share_of(0) + gla.share_of(1) == pytest.approx(1.0)

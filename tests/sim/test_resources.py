@@ -1,0 +1,274 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResourceBasics:
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_when_idle(self, sim):
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def proc():
+            yield res.request()
+            grants.append(sim.now)
+            res.release()
+
+        sim.process(proc())
+        sim.run()
+        assert grants == [0.0]
+
+    def test_release_idle_resource_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_fifo_queuing_single_server(self, sim):
+        res = Resource(sim, capacity=1, name="cpu")
+        log = []
+
+        def job(tag, service):
+            yield res.request()
+            log.append(("start", tag, sim.now))
+            yield sim.timeout(service)
+            res.release()
+            log.append(("end", tag, sim.now))
+
+        sim.process(job("a", 2.0))
+        sim.process(job("b", 1.0))
+        sim.process(job("c", 1.0))
+        sim.run()
+        assert log == [
+            ("start", "a", 0.0),
+            ("end", "a", 2.0),
+            ("start", "b", 2.0),
+            ("end", "b", 3.0),
+            ("start", "c", 3.0),
+            ("end", "c", 4.0),
+        ]
+
+    def test_multi_server_parallelism(self, sim):
+        res = Resource(sim, capacity=2)
+        ends = []
+
+        def job(service):
+            yield from res.acquire(service)
+            ends.append(sim.now)
+
+        for _ in range(4):
+            sim.process(job(1.0))
+        sim.run()
+        # Two run immediately, two queue behind them.
+        assert ends == [1.0, 1.0, 2.0, 2.0]
+
+    def test_holder_crash_with_release_in_finally_frees_unit(self, sim):
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def holder():
+            yield res.request()
+            try:
+                yield sim.timeout(2.0)
+                raise ValueError("abort mid-hold")
+            finally:
+                res.release()
+
+        def waiter():
+            yield res.request()
+            grants.append(sim.now)
+            res.release()
+
+        crashing = sim.process(holder())
+
+        def supervisor():
+            try:
+                yield crashing
+            except ValueError:
+                pass
+
+        sim.process(supervisor())
+        sim.process(waiter())
+        sim.run()
+        assert grants == [2.0]
+        assert res.busy == 0
+
+    def test_busy_and_queue_counts(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(5.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.busy == 1
+        assert res.queue_length == 1
+        sim.run()
+        assert res.busy == 0
+        assert res.queue_length == 0
+
+
+class TestResourceStatistics:
+    def test_utilization_single_job(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def job():
+            yield from res.acquire(4.0)
+
+        sim.process(job())
+        sim.run()
+        sim.run(until=8.0)
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_utilization_multi_server(self, sim):
+        res = Resource(sim, capacity=4)
+
+        def job():
+            yield from res.acquire(10.0)
+
+        sim.process(job())
+        sim.process(job())
+        sim.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_wait_time_tally(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def job(service):
+            yield from res.acquire(service)
+
+        sim.process(job(3.0))
+        sim.process(job(1.0))
+        sim.run()
+        assert res.wait_time.count == 2
+        assert res.wait_time.mean == pytest.approx((0.0 + 3.0) / 2)
+
+    def test_services_counter(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def job():
+            yield from res.acquire(1.0)
+
+        for _ in range(5):
+            sim.process(job())
+        sim.run()
+        assert res.services == 5
+
+    def test_reset_stats_discards_history(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def job():
+            yield from res.acquire(10.0)
+
+        sim.process(job())
+        sim.run()
+        res.reset_stats()
+        sim.run(until=20.0)
+        assert res.utilization() == pytest.approx(0.0)
+        assert res.services == 0
+
+    def test_mean_queue_length(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield from res.acquire(10.0)
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run()
+        # One waiter queued for the whole 10s interval.
+        assert res.mean_queue_length() == pytest.approx(1.0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        seen = []
+
+        def consumer():
+            item = yield store.get()
+            seen.append((sim.now, item))
+
+        store.put("m1")
+        sim.process(consumer())
+        sim.run()
+        assert seen == [(0.0, "m1")]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        seen = []
+
+        def consumer():
+            item = yield store.get()
+            seen.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert seen == [(3.0, "late")]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        seen = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                seen.append(item)
+
+        for item in ["a", "b", "c"]:
+            store.put(item)
+        sim.process(consumer())
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_getter_order(self, sim):
+        store = Store(sim)
+        seen = []
+
+        def consumer(tag):
+            item = yield store.get()
+            seen.append((tag, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+
+        def producer():
+            yield sim.timeout(1.0)
+            store.put("x")
+            store.put("y")
+
+        sim.process(producer())
+        sim.run()
+        assert seen == [("first", "x"), ("second", "y")]
+
+    def test_len_and_puts(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.puts == 2

@@ -1,0 +1,96 @@
+"""Unit tests for random stream registry."""
+
+import pytest
+
+from repro.sim import StreamRegistry
+from repro.sim.rng import zipf_weights
+
+
+class TestStreams:
+    def test_same_name_same_stream(self):
+        reg = StreamRegistry(7)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_reproducible_across_registries(self):
+        a = StreamRegistry(7).stream("arrivals")
+        b = StreamRegistry(7).stream("arrivals")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_are_independent(self):
+        reg = StreamRegistry(7)
+        a = reg.stream("a")
+        b = reg.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = StreamRegistry(1).stream("s")
+        b = StreamRegistry(2).stream("s")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        stream = StreamRegistry(3).stream("exp")
+        n = 20000
+        mean = sum(stream.exponential(10.0) for _ in range(n)) / n
+        assert mean == pytest.approx(10.0, rel=0.05)
+
+    def test_exponential_zero_mean(self):
+        stream = StreamRegistry(3).stream("exp")
+        assert stream.exponential(0.0) == 0.0
+
+    def test_exponential_negative_mean_rejected(self):
+        stream = StreamRegistry(3).stream("exp")
+        with pytest.raises(ValueError):
+            stream.exponential(-1.0)
+
+    def test_randint_bounds(self):
+        stream = StreamRegistry(3).stream("int")
+        values = {stream.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_bernoulli_probability(self):
+        stream = StreamRegistry(3).stream("bern")
+        n = 20000
+        hits = sum(stream.bernoulli(0.85) for _ in range(n))
+        assert hits / n == pytest.approx(0.85, abs=0.02)
+
+    def test_weighted_index_respects_weights(self):
+        stream = StreamRegistry(3).stream("w")
+        cumulative = [1.0, 1.0 + 3.0]  # weights 1 and 3
+        n = 20000
+        ones = sum(stream.weighted_index(cumulative) == 1 for _ in range(n))
+        assert ones / n == pytest.approx(0.75, abs=0.02)
+
+    def test_geometric_mean(self):
+        stream = StreamRegistry(3).stream("g")
+        n = 20000
+        mean = sum(stream.geometric(0.25) for _ in range(n)) / n
+        assert mean == pytest.approx(4.0, rel=0.05)
+
+    def test_geometric_invalid_p(self):
+        stream = StreamRegistry(3).stream("g")
+        with pytest.raises(ValueError):
+            stream.geometric(0.0)
+
+
+class TestZipf:
+    def test_uniform_when_theta_zero(self):
+        weights = zipf_weights(4, 0.0)
+        assert weights == pytest.approx([1.0, 2.0, 3.0, 4.0])
+
+    def test_skewed_when_theta_positive(self):
+        weights = zipf_weights(3, 1.0)
+        assert weights == pytest.approx([1.0, 1.5, 1.5 + 1.0 / 3.0])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_sampling_skew(self):
+        stream = StreamRegistry(5).stream("zipf")
+        cumulative = zipf_weights(100, 1.0)
+        n = 20000
+        first = sum(stream.weighted_index(cumulative) == 0 for _ in range(n))
+        last = sum(stream.weighted_index(cumulative) == 99 for _ in range(n))
+        assert first > 10 * max(last, 1)

@@ -1,0 +1,128 @@
+"""Unit tests for cluster construction and storage allocation."""
+
+import pytest
+
+from repro.db.schema import StorageKind
+from repro.devices.gem import GemDevice
+from repro.system.cluster import Cluster
+from repro.system.config import DebitCreditConfig, SystemConfig
+
+
+def quiet_config(**overrides):
+    defaults = dict(arrival_rate_per_node=1e-6, warmup_time=0.0, measure_time=1.0)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestTopology:
+    def test_node_count(self):
+        cluster = Cluster(quiet_config(num_nodes=3))
+        assert len(cluster.nodes) == 3
+        assert [n.node_id for n in cluster.nodes] == [0, 1, 2]
+
+    def test_gem_protocol_selected(self):
+        cluster = Cluster(quiet_config(coupling="gem"))
+        assert cluster.protocol.name == "gem"
+
+    def test_pcl_protocol_selected(self):
+        cluster = Cluster(quiet_config(coupling="pcl"))
+        assert cluster.protocol.name == "pcl"
+        assert len(cluster.protocol.tables) == 1
+
+    def test_log_disk_per_node(self):
+        cluster = Cluster(quiet_config(num_nodes=4))
+        assert len(cluster.log_disks) == 4
+
+    def test_nodes_share_protocol(self):
+        cluster = Cluster(quiet_config(num_nodes=2))
+        assert cluster.nodes[0].protocol is cluster.nodes[1].protocol
+
+
+class TestStorageAllocation:
+    def test_default_all_partitions_on_disk(self):
+        cluster = Cluster(quiet_config())
+        assert set(cluster.disk_arrays) == {"BRANCH_TELLER", "ACCOUNT", "HISTORY"}
+        assert not cluster.storage.is_gem_resident(0)
+
+    def test_branch_teller_in_gem(self):
+        config = quiet_config(
+            debit_credit=DebitCreditConfig(branch_teller_storage=StorageKind.GEM)
+        )
+        cluster = Cluster(config)
+        assert cluster.storage.is_gem_resident(0)
+        assert "BRANCH_TELLER" not in cluster.disk_arrays
+        assert isinstance(cluster.storage.backend(0), GemDevice)
+
+    def test_nonvolatile_disk_cache_sized_to_partition(self):
+        config = quiet_config(
+            num_nodes=2,
+            debit_credit=DebitCreditConfig(
+                branch_teller_storage=StorageKind.DISK_NONVOLATILE_CACHE
+            ),
+        )
+        cluster = Cluster(config)
+        cache = cluster.disk_arrays["BRANCH_TELLER"].cache
+        assert cache is not None
+        assert cache.nonvolatile
+        assert cache.capacity == 200  # all B/T pages of two nodes
+
+    def test_volatile_disk_cache(self):
+        config = quiet_config(
+            debit_credit=DebitCreditConfig(
+                branch_teller_storage=StorageKind.DISK_VOLATILE_CACHE,
+                branch_teller_cache_pages=64,
+            ),
+        )
+        cluster = Cluster(config)
+        cache = cluster.disk_arrays["BRANCH_TELLER"].cache
+        assert not cache.nonvolatile
+        assert cache.capacity == 64
+
+    def test_disks_scale_with_nodes(self):
+        c1 = Cluster(quiet_config(num_nodes=1))
+        c4 = Cluster(quiet_config(num_nodes=4))
+        assert len(c4.disk_arrays["ACCOUNT"].disks) == 4 * len(
+            c1.disk_arrays["ACCOUNT"].disks
+        )
+
+    def test_history_spread_accesses(self):
+        cluster = Cluster(quiet_config())
+        assert cluster.disk_arrays["HISTORY"].spread_accesses
+        assert not cluster.disk_arrays["ACCOUNT"].spread_accesses
+
+
+class TestWorkloadWiring:
+    def test_debit_credit_instruction_profile(self):
+        cluster = Cluster(quiet_config())
+        bot, per_access, eot = cluster.instruction_profile
+        assert bot + 4 * per_access + eot == pytest.approx(250_000)
+
+    def test_trace_instruction_profile(self):
+        from repro.system.config import TraceWorkloadConfig
+
+        config = quiet_config(
+            workload="trace", trace=TraceWorkloadConfig(scale=0.02)
+        )
+        cluster = Cluster(config)
+        bot, per_access, eot = cluster.instruction_profile
+        assert per_access == config.trace_instructions_per_access
+
+    def test_trace_database_constant_in_nodes(self):
+        from repro.system.config import TraceWorkloadConfig
+
+        trace_config = TraceWorkloadConfig(scale=0.02)
+        c1 = Cluster(quiet_config(workload="trace", trace=trace_config, num_nodes=1))
+        c2 = Cluster(quiet_config(workload="trace", trace=trace_config, num_nodes=2))
+        assert c1.database.total_pages() == c2.database.total_pages()
+
+    def test_affinity_router_for_debit_credit(self):
+        from repro.routing.affinity import AffinityRouter
+
+        cluster = Cluster(quiet_config(routing="affinity", num_nodes=2))
+        assert isinstance(cluster.router, AffinityRouter)
+
+    def test_random_router(self):
+        from repro.routing.random_router import RandomRouter
+
+        cluster = Cluster(quiet_config(routing="random", num_nodes=2))
+        assert isinstance(cluster.router, RandomRouter)

@@ -1,0 +1,156 @@
+"""End-to-end integration tests.
+
+Short full-system runs asserting conservation laws, coherency (the
+ledger raises on any stale read, so a clean run *is* the check),
+determinism, and the paper's qualitative results at reduced scale.
+"""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig, TraceWorkloadConfig
+from repro.system.runner import run_simulation
+
+
+def short_config(**overrides):
+    defaults = dict(
+        num_nodes=2,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.5,
+        measure_time=2.0,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestConservation:
+    def test_completions_track_arrivals(self):
+        result = run_simulation(short_config())
+        # Open model at stable load: throughput ~= offered rate.
+        offered = result.arrival_rate_per_node * result.num_nodes
+        assert result.throughput_total == pytest.approx(offered, rel=0.25)
+
+    def test_arrivals_equal_completions_plus_in_flight(self):
+        config = short_config()
+        cluster = Cluster(config)
+        cluster.sim.run(until=3.0)
+        arrivals = sum(n.arrivals.count for n in cluster.nodes)
+        completions = sum(n.completions.count for n in cluster.nodes)
+        in_flight = sum(
+            n.mpl.busy + n.mpl.queue_length for n in cluster.nodes
+        )
+        assert arrivals == completions + in_flight
+        assert arrivals == cluster.source.generated
+
+    def test_sane_metrics(self):
+        result = run_simulation(short_config())
+        assert 0 < result.mean_response_time < 1.0
+        assert all(0 <= u <= 1 for u in result.cpu_utilization_per_node)
+        assert 0 <= result.gem_utilization <= 1
+        for ratio in result.hit_ratios.values():
+            assert 0.0 <= ratio <= 1.0
+        assert result.mean_accesses_per_txn == pytest.approx(3.0, abs=0.2)
+
+    def test_no_deadlocks_in_debit_credit(self):
+        # Fixed access order makes debit-credit deadlock-free (3.1).
+        result = run_simulation(short_config(routing="random", num_nodes=3))
+        assert result.deadlocks == 0
+        assert result.aborts == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        r1 = run_simulation(short_config(random_seed=7))
+        r2 = run_simulation(short_config(random_seed=7))
+        assert r1.completed == r2.completed
+        assert r1.mean_response_time == pytest.approx(r2.mean_response_time)
+        assert r1.hit_ratios == r2.hit_ratios
+
+    def test_different_seed_different_results(self):
+        r1 = run_simulation(short_config(random_seed=7))
+        r2 = run_simulation(short_config(random_seed=8))
+        assert r1.mean_response_time != pytest.approx(
+            r2.mean_response_time, rel=1e-9
+        )
+
+
+class TestPaperShapes:
+    """The paper's qualitative results at reduced scale."""
+
+    def test_force_slower_than_noforce(self):
+        noforce = run_simulation(short_config(update_strategy="noforce"))
+        force = run_simulation(short_config(update_strategy="force"))
+        assert force.mean_response_time > noforce.mean_response_time * 1.2
+
+    def test_random_routing_destroys_bt_hit_ratio(self):
+        affinity = run_simulation(short_config(num_nodes=3, routing="affinity"))
+        random_ = run_simulation(short_config(num_nodes=3, routing="random"))
+        assert affinity.hit_ratios["BRANCH_TELLER"] > 0.55
+        assert random_.hit_ratios["BRANCH_TELLER"] < 0.45
+        assert (
+            random_.invalidations_per_txn["BRANCH_TELLER"]
+            > affinity.invalidations_per_txn["BRANCH_TELLER"]
+        )
+
+    def test_pcl_local_share_matches_routing(self):
+        affinity = run_simulation(
+            short_config(coupling="pcl", routing="affinity", num_nodes=2)
+        )
+        random_ = run_simulation(
+            short_config(coupling="pcl", routing="random", num_nodes=2)
+        )
+        # Affinity: only ~15% of ACCOUNT locks can be remote -> >90%.
+        assert affinity.local_lock_share > 0.9
+        # Random: ~1/N of lock requests are local.
+        assert random_.local_lock_share == pytest.approx(0.5, abs=0.1)
+
+    def test_pcl_sends_messages_gem_does_not(self):
+        gem = run_simulation(short_config(coupling="gem", routing="random"))
+        pcl = run_simulation(short_config(coupling="pcl", routing="random"))
+        assert pcl.messages_per_txn > 2.0
+        assert gem.messages_per_txn < 1.5  # only NOFORCE page requests
+
+    def test_gem_utilization_negligible(self):
+        result = run_simulation(short_config(num_nodes=3, routing="random"))
+        assert result.gem_utilization < 0.05  # paper: < 2% at 1000 TPS
+
+    def test_noforce_page_requests_under_random_routing(self):
+        result = run_simulation(
+            short_config(coupling="gem", routing="random", num_nodes=3)
+        )
+        assert result.page_requests_per_txn > 0.1
+        # Paper footnote 2: ~6.5 ms per page request vs 16.4 ms disk.
+        assert 0.001 < result.mean_page_request_delay < 0.015
+
+
+class TestTraceEndToEnd:
+    def test_trace_run_completes_cleanly(self):
+        config = short_config(
+            workload="trace",
+            arrival_rate_per_node=30.0,
+            buffer_pages_per_node=500,
+            trace=TraceWorkloadConfig(scale=0.05),
+            warmup_time=0.5,
+            measure_time=2.0,
+        )
+        result = run_simulation(config)
+        assert result.completed > 10
+        assert result.mean_accesses_per_txn > 10
+        assert result.mean_response_time_artificial > 0
+
+    def test_trace_pcl_with_read_optimization(self):
+        config = short_config(
+            coupling="pcl",
+            workload="trace",
+            arrival_rate_per_node=30.0,
+            buffer_pages_per_node=500,
+            pcl_read_optimization=True,
+            trace=TraceWorkloadConfig(scale=0.05),
+            warmup_time=0.5,
+            measure_time=2.0,
+        )
+        cluster = Cluster(config)
+        cluster.sim.run(until=2.5)
+        assert cluster.protocol.auth_read_locks > 0

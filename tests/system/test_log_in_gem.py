@@ -1,0 +1,50 @@
+"""Tests for the GEM-resident log (section 2 usage form)."""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+
+def config(**overrides):
+    defaults = dict(
+        num_nodes=2,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.5,
+        measure_time=2.0,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestLogInGem:
+    def test_log_disks_idle_when_log_in_gem(self):
+        cluster = Cluster(config(log_in_gem=True))
+        cluster.sim.run(until=2.0)
+        assert all(disk.writes == 0 for disk in cluster.log_disks)
+        # Log writes show up as GEM page accesses instead.
+        assert cluster.gem.page_accesses > 100
+
+    def test_log_disks_used_by_default(self):
+        cluster = Cluster(config())
+        cluster.sim.run(until=2.0)
+        assert sum(disk.writes for disk in cluster.log_disks) > 100
+        assert cluster.gem.page_accesses == 0
+
+    def test_gem_log_improves_response_time(self):
+        baseline = run_simulation(config())
+        gem_log = run_simulation(config(log_in_gem=True))
+        # The ~6.4 ms (+ queuing) log write shrinks to ~80 us.
+        assert (
+            baseline.mean_response_time - gem_log.mean_response_time > 0.004
+        )
+
+    def test_gem_log_with_force_and_random_routing(self):
+        result = run_simulation(
+            config(update_strategy="force", routing="random", log_in_gem=True)
+        )
+        assert result.completed > 100
+        assert result.log_disk_utilization_max == 0.0

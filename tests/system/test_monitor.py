@@ -1,0 +1,74 @@
+"""Unit tests for the time-series monitor."""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.config import SystemConfig
+from repro.system.monitor import TimeSeriesMonitor
+
+
+def make_cluster(**overrides):
+    defaults = dict(
+        num_nodes=2,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.0,
+        measure_time=1.0,
+    )
+    defaults.update(overrides)
+    return Cluster(SystemConfig(**defaults))
+
+
+class TestMonitor:
+    def test_samples_at_interval(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=0.5)
+        cluster.sim.run(until=2.6)
+        assert len(monitor.samples) == 5
+        assert monitor.column("time") == pytest.approx([0.5, 1.0, 1.5, 2.0, 2.5])
+
+    def test_throughput_tracks_completions(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=4.0)
+        total_from_windows = sum(monitor.column("throughput"))
+        completed = sum(n.completions.count for n in cluster.nodes)
+        # Completions within sampled windows (the run end may cut the
+        # last window short).
+        assert total_from_windows == pytest.approx(completed, abs=50)
+        assert all(t >= 0 for t in monitor.column("throughput"))
+
+    def test_response_time_positive_once_running(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=3.0)
+        later_samples = monitor.samples[1:]
+        assert all(row["mean_response_time"] > 0 for row in later_samples)
+
+    def test_utilization_fields_bounded(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=3.0)
+        for row in monitor.samples:
+            assert 0.0 <= row["cpu_avg"] <= row["cpu_max"] <= 1.0
+            assert 0.0 <= row["gem_utilization"] <= 1.0
+
+    def test_csv_export(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=2.5)
+        csv = monitor.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("time,")
+        assert len(lines) == 1 + len(monitor.samples)
+
+    def test_empty_csv(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=10.0)
+        assert monitor.to_csv() == ""
+
+    def test_invalid_interval(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            TimeSeriesMonitor(cluster, interval=0.0)

@@ -1,0 +1,46 @@
+"""Unit tests for RunResult derived metrics."""
+
+import pytest
+
+from tests.experiments.test_harness import fake_result
+
+
+class TestDerivedMetrics:
+    def test_throughput_per_node(self):
+        result = fake_result(4, 80.0)
+        assert result.throughput_per_node == pytest.approx(25.0)
+
+    def test_cpu_aggregates(self):
+        result = fake_result(2, 80.0)
+        result.cpu_utilization_per_node = [0.5, 0.9]
+        assert result.cpu_utilization_avg == pytest.approx(0.7)
+        assert result.cpu_utilization_max == pytest.approx(0.9)
+
+    def test_response_time_ms(self):
+        result = fake_result(1, 75.0)
+        assert result.response_time_ms == pytest.approx(75.0)
+
+    def test_messages_per_txn(self):
+        result = fake_result(1, 75.0)
+        result.messages_short_per_txn = 2.0
+        result.messages_long_per_txn = 0.5
+        assert result.messages_per_txn == pytest.approx(2.5)
+
+    def test_summary_and_label(self):
+        result = fake_result(4, 75.0)
+        assert "N=4" in result.label()
+        summary = result.summary()
+        assert "RT=75.0 ms" in summary
+        assert "100 TPS" in summary
+
+    def test_as_dict_includes_derived(self):
+        data = fake_result(2, 60.0).as_dict()
+        assert data["throughput_per_node"] == pytest.approx(50.0)
+        assert data["response_time_ms"] == pytest.approx(60.0)
+        assert data["hit_ratios"]["BRANCH_TELLER"] == pytest.approx(0.7)
+
+    def test_empty_node_list_degrades_gracefully(self):
+        result = fake_result(1, 10.0)
+        result.cpu_utilization_per_node = []
+        assert result.cpu_utilization_avg == 0.0
+        assert result.cpu_utilization_max == 0.0

@@ -1,0 +1,94 @@
+"""Integration tests for the storage-allocation configurations
+(the Fig 4.3 / Fig 4.4 code paths end to end)."""
+
+import pytest
+
+from repro.db.schema import StorageKind
+from repro.system.cluster import Cluster
+from repro.system.config import DebitCreditConfig, SystemConfig
+from repro.system.runner import run_simulation
+
+
+def config_with_bt_storage(storage, **overrides):
+    defaults = dict(
+        num_nodes=2,
+        coupling="gem",
+        routing="random",
+        update_strategy="force",
+        buffer_pages_per_node=1000,
+        debit_credit=DebitCreditConfig(branch_teller_storage=storage),
+        warmup_time=0.5,
+        measure_time=2.0,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestGemResidentPartition:
+    def test_force_writes_go_to_gem(self):
+        config = config_with_bt_storage(StorageKind.GEM)
+        cluster = Cluster(config)
+        cluster.sim.run(until=2.0)
+        # FORCE writes the B/T page every transaction: GEM page traffic.
+        assert cluster.gem.page_accesses > 50
+        assert "BRANCH_TELLER" not in cluster.disk_arrays
+
+    def test_gem_allocation_beats_disk_for_force(self):
+        disk = run_simulation(config_with_bt_storage(StorageKind.DISK))
+        gem = run_simulation(config_with_bt_storage(StorageKind.GEM))
+        assert gem.mean_response_time < disk.mean_response_time
+
+    def test_gem_allocation_coherent_under_contention(self):
+        # Random routing + FORCE + GEM file: heavy cross-node write
+        # traffic through GEM; the ledger verifies every read.
+        result = run_simulation(
+            config_with_bt_storage(StorageKind.GEM, num_nodes=3)
+        )
+        assert result.completed > 100
+
+
+class TestDiskCaches:
+    def test_nonvolatile_cache_absorbs_force_writes(self):
+        config = config_with_bt_storage(StorageKind.DISK_NONVOLATILE_CACHE)
+        cluster = Cluster(config)
+        cluster.sim.run(until=2.0)
+        array = cluster.disk_arrays["BRANCH_TELLER"]
+        assert array.cache.write_hits > 50
+        # Destage keeps running in the background.
+        assert array.disk_writes > 0
+
+    def test_volatile_cache_serves_reads_only(self):
+        config = config_with_bt_storage(StorageKind.DISK_VOLATILE_CACHE)
+        cluster = Cluster(config)
+        cluster.sim.run(until=2.0)
+        array = cluster.disk_arrays["BRANCH_TELLER"]
+        assert array.cache.read_hits > 0
+        assert array.cache.write_hits == 0
+        # Writes still hit the disks.
+        assert array.disk_writes > 50
+
+    def test_nonvolatile_cache_close_to_gem_allocation(self):
+        gem = run_simulation(config_with_bt_storage(StorageKind.GEM))
+        nv = run_simulation(
+            config_with_bt_storage(StorageKind.DISK_NONVOLATILE_CACHE)
+        )
+        assert nv.mean_response_time == pytest.approx(
+            gem.mean_response_time, rel=0.2
+        )
+
+    def test_cache_hierarchy_ordering_for_force_random(self):
+        """disk >= volatile cache >= non-volatile cache (Fig 4.4)."""
+        rts = {}
+        for storage in (
+            StorageKind.DISK,
+            StorageKind.DISK_VOLATILE_CACHE,
+            StorageKind.DISK_NONVOLATILE_CACHE,
+        ):
+            rts[storage] = run_simulation(
+                config_with_bt_storage(storage)
+            ).mean_response_time
+        assert rts[StorageKind.DISK] > rts[StorageKind.DISK_NONVOLATILE_CACHE]
+        assert (
+            rts[StorageKind.DISK_VOLATILE_CACHE]
+            >= rts[StorageKind.DISK_NONVOLATILE_CACHE] * 0.9
+        )

@@ -1,0 +1,109 @@
+"""Cross-validation: operational-law predictions vs simulation.
+
+The strongest correctness check available for a simulator: measured
+utilizations and message counts must agree with what the utilization
+law derives from the configuration.
+"""
+
+import pytest
+
+from repro.analysis import predict_debit_credit
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+
+def config(**overrides):
+    defaults = dict(
+        num_nodes=2,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=1.0,
+        measure_time=5.0,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def normalized(result):
+    """Scale factor from the achieved to the offered arrival rate."""
+    return result.arrival_rate_per_node / max(result.throughput_per_node, 1e-9)
+
+
+class TestPredictionsVsSimulation:
+    def test_cpu_utilization_gem_noforce(self):
+        cfg = config()
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        assert measured.cpu_utilization_avg * normalized(measured) == pytest.approx(
+            predicted.cpu_utilization, rel=0.12
+        )
+
+    def test_cpu_utilization_includes_force_overhead(self):
+        noforce = predict_debit_credit(config())
+        force = predict_debit_credit(config(update_strategy="force"))
+        assert force.cpu_utilization > noforce.cpu_utilization
+        measured = run_simulation(config(update_strategy="force"))
+        assert measured.cpu_utilization_avg * normalized(measured) == pytest.approx(
+            force.cpu_utilization, rel=0.12
+        )
+
+    def test_cpu_utilization_pcl_random_includes_messages(self):
+        cfg = config(coupling="pcl", routing="random", num_nodes=4)
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        assert predicted.cpu_utilization > predict_debit_credit(
+            config(num_nodes=4)
+        ).cpu_utilization
+        assert measured.cpu_utilization_avg * normalized(measured) == pytest.approx(
+            predicted.cpu_utilization, rel=0.15
+        )
+
+    def test_gem_utilization(self):
+        cfg = config(num_nodes=4, routing="random")
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        assert measured.gem_utilization == pytest.approx(
+            predicted.gem_utilization, rel=0.35
+        )
+        assert predicted.gem_utilization < 0.02  # the paper's "< 2%"
+
+    def test_log_disk_utilization(self):
+        cfg = config()
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        assert measured.log_disk_utilization_max * normalized(
+            measured
+        ) == pytest.approx(predicted.log_disk_utilization, rel=0.2)
+
+    def test_remote_lock_prediction_random(self):
+        cfg = config(coupling="pcl", routing="random", num_nodes=4)
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        assert predicted.remote_locks_per_txn == pytest.approx(1.5)  # 2 * 3/4
+        assert measured.remote_lock_requests_per_txn == pytest.approx(
+            predicted.remote_locks_per_txn, rel=0.1
+        )
+
+    def test_remote_lock_prediction_affinity(self):
+        cfg = config(coupling="pcl", routing="affinity", num_nodes=4)
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        # Paper footnote 3: at most 0.15 remote ACCOUNT lock requests.
+        assert predicted.remote_locks_per_txn < 0.15
+        assert measured.remote_lock_requests_per_txn == pytest.approx(
+            predicted.remote_locks_per_txn, rel=0.25
+        )
+
+    def test_message_prediction_pcl(self):
+        cfg = config(coupling="pcl", routing="random", num_nodes=4)
+        predicted = predict_debit_credit(cfg)
+        measured = run_simulation(cfg)
+        # Reply messages are counted at the GLA side; totals match.
+        assert measured.messages_per_txn == pytest.approx(
+            predicted.messages_per_txn, rel=0.15
+        )
+
+    def test_prediction_rejects_trace_workload(self):
+        with pytest.raises(ValueError):
+            predict_debit_credit(config(workload="trace"))

@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nodes == 4
+        assert args.coupling == "gem"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_arguments(self):
+        args = build_parser().parse_args(
+            ["experiments", "fig41", "--scale", "smoke"]
+        )
+        assert args.figure == "fig41"
+        assert args.scale == "smoke"
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            ["run", "--nodes", "1", "--warmup", "0.5", "--measure", "1.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RT=" in out
+        assert "hit ratios" in out
+
+    def test_run_json_output(self, capsys):
+        code = main(
+            ["run", "--nodes", "1", "--warmup", "0.5", "--measure", "1.5",
+             "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_nodes"] == 1
+        assert data["completed"] > 0
+
+
+class TestPredictCommand:
+    def test_predict_prints_fields(self, capsys):
+        code = main(["predict", "--nodes", "4", "--coupling", "pcl",
+                     "--routing", "random"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpu_utilization" in out
+        assert "remote_locks_per_txn" in out
+
+
+class TestTraceGenCommand:
+    def test_generates_trace_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "t.trace")
+        code = main(["trace-gen", out_path, "--scale", "0.02"])
+        assert code == 0
+        from repro.workload.trace import Trace
+
+        trace = Trace.load(out_path)
+        assert len(trace) >= 200
+        assert trace.num_files == 13
+
+
+class TestExperimentsCommand:
+    def test_table41_smoke(self, capsys):
+        code = main(["experiments", "table41", "--scale", "smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out or "FAIL" in out
+
+    def test_unknown_figure(self, capsys):
+        code = main(["experiments", "fig99"])
+        assert code == 2

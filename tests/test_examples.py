@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs and produces sane output."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "mean response time" in out
+        assert "GEM utilization" in out
+
+    def test_debit_credit_scaling(self):
+        out = run_example(
+            "debit_credit_scaling.py", "--nodes", "1", "2", "--measure", "2.0"
+        )
+        assert "affinity" in out and "random" in out
+        assert "B/T hit" in out
+
+    def test_coupling_comparison(self):
+        out = run_example(
+            "coupling_comparison.py", "--nodes", "2", "--routing", "random"
+        )
+        assert "close coupling (GEM locking)" in out
+        assert "loose coupling (primary copy locking)" in out
+        assert "messages per txn" in out
+
+    def test_trace_study(self):
+        out = run_example("trace_study.py", "--nodes", "2", "--scale", "0.04",
+                          "--measure", "2.0")
+        assert "synthetic trace" in out
+        assert "gem/affinity" in out
+        assert "pcl/random" in out
+
+    def test_storage_allocation(self):
+        out = run_example(
+            "storage_allocation.py", "--nodes", "2", "--measure", "2.0"
+        )
+        assert "GEM resident" in out
+        assert "non-volatile disk cache" in out
+
+    def test_custom_workload(self):
+        out = run_example(
+            "custom_workload.py", "--nodes", "2", "--measure", "2.0"
+        )
+        assert "gem" in out and "pcl" in out
+        assert "order-entry workload" in out

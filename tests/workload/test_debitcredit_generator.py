@@ -1,0 +1,110 @@
+"""Unit tests for the debit-credit transaction generator."""
+
+import pytest
+
+from repro.db.debitcredit import DebitCreditLayout
+from repro.sim import StreamRegistry
+from repro.system.config import DebitCreditConfig
+from repro.workload.debitcredit import DebitCreditGenerator
+
+
+def make_generator(num_nodes=4, seed=11, **config_overrides):
+    config = DebitCreditConfig(**config_overrides)
+    layout = DebitCreditLayout(config, num_nodes)
+    return layout, DebitCreditGenerator(layout, StreamRegistry(seed).stream("dc"))
+
+
+class TestTransactionShape:
+    def test_four_record_accesses(self):
+        _, gen = make_generator()
+        txn = gen.next_transaction()
+        assert len(txn.accesses) == 4
+
+    def test_all_accesses_are_updates(self):
+        _, gen = make_generator()
+        txn = gen.next_transaction()
+        assert all(a.write for a in txn.accesses)
+        assert txn.is_update
+
+    def test_access_order_account_history_teller_branch(self):
+        layout, gen = make_generator()
+        txn = gen.next_transaction()
+        partitions = [a.page[0] for a in txn.accesses]
+        assert partitions == [
+            layout.account.index,
+            layout.history.index,
+            layout.branch_teller.index,
+            layout.branch_teller.index,
+        ]
+
+    def test_history_access_unlocked_append(self):
+        _, gen = make_generator()
+        txn = gen.next_transaction()
+        history = txn.accesses[1]
+        assert not history.lockable
+        assert history.append
+        assert history.page[1] == -1  # placeholder until routed
+
+    def test_clustered_transaction_locks_two_pages(self):
+        _, gen = make_generator()
+        txn = gen.next_transaction()
+        locked = {a.page for a in txn.accesses if a.lockable}
+        # ACCOUNT page + one clustered BRANCH/TELLER page.
+        assert len(locked) == 2
+
+    def test_unclustered_transaction_locks_three_pages(self):
+        _, gen = make_generator(cluster_branch_teller=False)
+        txn = gen.next_transaction()
+        locked = {a.page for a in txn.accesses if a.lockable}
+        assert len(locked) == 3
+
+    def test_transaction_ids_unique_and_increasing(self):
+        _, gen = make_generator()
+        ids = [gen.next_transaction().txn_id for _ in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+
+class TestDistributions:
+    def test_branches_uniform(self):
+        layout, gen = make_generator(num_nodes=2)
+        n = 20_000
+        counts = [0] * layout.total_branches
+        for _ in range(n):
+            counts[gen.next_transaction().branch] += 1
+        mean = n / layout.total_branches
+        assert min(counts) > 0.5 * mean
+        assert max(counts) < 1.6 * mean
+
+    def test_85_percent_account_locality(self):
+        layout, gen = make_generator(num_nodes=4)
+        n = 20_000
+        local = 0
+        for _ in range(n):
+            txn = gen.next_transaction()
+            account_page = txn.accesses[0].page
+            first_account = account_page[1] * layout.config.account_blocking_factor
+            if layout.branch_of_account(first_account) == txn.branch:
+                local += 1
+        assert local / n == pytest.approx(0.85, abs=0.01)
+
+    def test_remote_account_goes_to_other_branch(self):
+        layout, gen = make_generator(num_nodes=4, account_local_probability=0.0)
+        for _ in range(200):
+            txn = gen.next_transaction()
+            account_page = txn.accesses[0].page
+            first_account = account_page[1] * layout.config.account_blocking_factor
+            assert layout.branch_of_account(first_account) != txn.branch
+
+    def test_single_branch_database_always_local(self):
+        layout, gen = make_generator(
+            num_nodes=1, branches_per_node=1, account_local_probability=0.0
+        )
+        txn = gen.next_transaction()
+        assert txn.branch == 0
+
+    def test_teller_and_branch_on_same_clustered_page(self):
+        _, gen = make_generator()
+        for _ in range(50):
+            txn = gen.next_transaction()
+            assert txn.accesses[2].page == txn.accesses[3].page

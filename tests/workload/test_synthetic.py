@@ -1,0 +1,170 @@
+"""Unit and integration tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.sim import StreamRegistry
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+from repro.workload.synthetic import (
+    AccessSpec,
+    PartitionSpec,
+    SyntheticGenerator,
+    SyntheticWorkloadSpec,
+    TransactionClass,
+)
+
+
+def order_entry_spec():
+    return SyntheticWorkloadSpec(
+        partitions=[
+            PartitionSpec("ORDERS", 50_000, disks=6),
+            PartitionSpec("STOCK", 5_000, disks=6),
+            PartitionSpec("LOG_SEQ", 1_000, lockable=False),
+        ],
+        classes=[
+            TransactionClass(
+                "new-order",
+                weight=10,
+                accesses=[
+                    AccessSpec("STOCK", count=5, write_probability=1.0,
+                               distribution="zipf", zipf_theta=0.8),
+                    AccessSpec("ORDERS", count=1, write_probability=1.0),
+                ],
+                affinity_node=0,
+            ),
+            TransactionClass(
+                "stock-level",
+                weight=2,
+                accesses=[
+                    AccessSpec("STOCK", count=40, distribution="zipf",
+                               hot_fraction=0.2),
+                ],
+                affinity_node=1,
+            ),
+        ],
+    )
+
+
+def make_generator(spec=None):
+    spec = spec or order_entry_spec()
+    database = spec.build_database()
+    return spec, database, SyntheticGenerator(
+        spec, database, StreamRegistry(3).stream("syn")
+    )
+
+
+class TestSpecValidation:
+    def test_invalid_distribution(self):
+        with pytest.raises(ValueError):
+            AccessSpec("X", distribution="pareto")
+
+    def test_invalid_hot_fraction(self):
+        with pytest.raises(ValueError):
+            AccessSpec("X", hot_fraction=0.0)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            TransactionClass("c", weight=0.0, accesses=[AccessSpec("X")])
+
+    def test_empty_accesses(self):
+        with pytest.raises(ValueError):
+            TransactionClass("c", weight=1.0, accesses=[])
+
+    def test_database_construction(self):
+        spec, database, _gen = make_generator()
+        assert len(database) == 3
+        assert not database["LOG_SEQ"].lockable
+        assert spec.class_by_name("new-order").weight == 10
+        with pytest.raises(KeyError):
+            spec.class_by_name("nope")
+
+
+class TestGeneration:
+    def test_access_counts_match_spec(self):
+        _spec, _db, gen = make_generator()
+        for _ in range(50):
+            txn = gen.next_transaction()
+            if txn.type_id == 0:
+                assert len(txn.accesses) == 6  # 5 STOCK + 1 ORDERS
+                assert txn.is_update
+            else:
+                assert len(txn.accesses) == 40
+                assert not txn.is_update
+
+    def test_class_mix_follows_weights(self):
+        _spec, _db, gen = make_generator()
+        n = 6000
+        for _ in range(n):
+            gen.next_transaction()
+        share = gen.generated_per_class[0] / n
+        assert share == pytest.approx(10 / 12, abs=0.03)
+
+    def test_hot_fraction_respected(self):
+        spec, db, gen = make_generator()
+        hot_limit = int(db["STOCK"].num_pages * 0.2)
+        for _ in range(30):
+            txn = gen.next_transaction()
+            if txn.type_id == 1:
+                for access in txn.accesses:
+                    assert access.page[1] < hot_limit
+
+    def test_pages_within_partition_bounds(self):
+        _spec, db, gen = make_generator()
+        for _ in range(100):
+            for access in gen.next_transaction().accesses:
+                partition = db.by_index(access.page[0])
+                assert 0 <= access.page[1] < partition.num_pages
+
+    def test_zipf_skew_visible(self):
+        from collections import Counter
+
+        _spec, _db, gen = make_generator()
+        counts = Counter()
+        for _ in range(2000):
+            txn = gen.next_transaction()
+            if txn.type_id == 0:
+                for access in txn.accesses:
+                    if access.page[0] == 1:  # STOCK
+                        counts[access.page[1]] += 1
+        top = counts.most_common(1)[0][1]
+        assert top > 5 * (sum(counts.values()) / max(len(counts), 1))
+
+
+class TestEndToEnd:
+    def _config(self, **overrides):
+        defaults = dict(
+            workload="synthetic",
+            synthetic=order_entry_spec(),
+            num_nodes=2,
+            coupling="gem",
+            routing="affinity",
+            update_strategy="noforce",
+            arrival_rate_per_node=20.0,
+            buffer_pages_per_node=500,
+            warmup_time=0.5,
+            measure_time=2.0,
+        )
+        defaults.update(overrides)
+        return SystemConfig(**defaults)
+
+    def test_synthetic_requires_spec(self):
+        with pytest.raises(ValueError):
+            SystemConfig(workload="synthetic")
+
+    def test_simulation_runs_with_gem(self):
+        result = run_simulation(self._config())
+        assert result.completed > 10
+        assert "STOCK" in result.hit_ratios
+
+    def test_simulation_runs_with_pcl(self):
+        result = run_simulation(self._config(coupling="pcl", routing="random"))
+        assert result.completed > 10
+        assert result.messages_per_txn > 0
+
+    def test_affinity_routing_uses_class_nodes(self):
+        from repro.system.cluster import Cluster
+
+        cluster = Cluster(self._config(arrival_rate_per_node=1e-6))
+        txn = cluster.generator.next_transaction()
+        expected = cluster.config.synthetic.classes[txn.type_id].affinity_node
+        assert cluster.router.route(txn) == expected

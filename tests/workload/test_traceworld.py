@@ -1,0 +1,97 @@
+"""Unit tests for the trace world (database, replay, routing, GLA)."""
+
+import pytest
+
+from repro.sim import StreamRegistry
+from repro.system.config import SystemConfig, TraceWorkloadConfig
+from repro.workload.trace import Trace, TraceReference, TraceTransaction
+from repro.workload.traceworld import TraceReplayGenerator, TraceWorld
+
+
+def make_world(num_nodes=2, scale=0.03, trace=None):
+    config = SystemConfig(
+        num_nodes=num_nodes,
+        workload="trace",
+        trace=TraceWorkloadConfig(scale=scale),
+        arrival_rate_per_node=1.0,
+    )
+    return TraceWorld(config, StreamRegistry(5), trace=trace)
+
+
+class TestWorldConstruction:
+    def test_one_partition_per_file(self):
+        world = make_world()
+        assert len(world.database) == 13
+        assert world.database.by_index(0).name == "FILE0"
+
+    def test_all_partitions_lockable(self):
+        world = make_world()
+        assert all(p.lockable for p in world.database)
+
+    def test_partitions_cover_file_extents(self):
+        world = make_world()
+        for txn in world.trace:
+            for ref in txn.references:
+                partition = world.database.by_index(ref.file_id)
+                assert ref.page_no < partition.num_pages
+
+    def test_disk_budget_proportional_to_file_size(self):
+        world = make_world()
+        disks = [p.disks for p in world.database]
+        sizes = [p.num_pages for p in world.database]
+        # Bigger files get at least as many disks as much smaller ones.
+        assert disks[0] > disks[-1]
+        assert sizes[0] > sizes[-1]
+
+    def test_gla_covers_all_referenced_pages(self):
+        world = make_world(num_nodes=3)
+        for txn in world.trace:
+            for ref in txn.references:
+                assert 0 <= world.gla_of_page((ref.file_id, ref.page_no)) < 3
+
+    def test_external_trace_accepted(self):
+        trace = Trace(
+            [TraceTransaction(0, [TraceReference(0, 5, False)])], num_files=2
+        )
+        world = make_world(trace=trace)
+        assert len(world.database) == 2
+        assert world.database.by_index(0).num_pages == 6
+
+
+class TestReplayGenerator:
+    def _trace(self):
+        return Trace(
+            [
+                TraceTransaction(0, [TraceReference(0, 1, False)]),
+                TraceTransaction(1, [TraceReference(0, 2, True)]),
+            ],
+            num_files=1,
+        )
+
+    def test_replays_in_order_then_cycles(self):
+        generator = TraceReplayGenerator(self._trace())
+        types = [generator.next_transaction().type_id for _ in range(5)]
+        assert types == [0, 1, 0, 1, 0]
+        assert generator.replays == 2
+
+    def test_fresh_transaction_objects(self):
+        generator = TraceReplayGenerator(self._trace())
+        first = generator.next_transaction()
+        generator.next_transaction()
+        third = generator.next_transaction()  # same recorded txn as first
+        assert first is not third
+        assert first.txn_id != third.txn_id
+        assert first.accesses[0] is not third.accesses[0]
+        assert first.accesses[0].page == third.accesses[0].page
+
+    def test_modes_preserved(self):
+        generator = TraceReplayGenerator(self._trace())
+        t0 = generator.next_transaction()
+        t1 = generator.next_transaction()
+        assert not t0.accesses[0].write
+        assert t1.accesses[0].write
+        assert t1.is_update
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayGenerator(Trace([], num_files=1))
