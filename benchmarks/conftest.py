@@ -8,9 +8,29 @@ experiment drivers directly (``python -m repro.experiments.fig41``)
 with ``Scale.full()``.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.common import Scale
+from repro.system.parallel import SweepRunner
+
+
+def bench_jobs() -> int:
+    """Worker processes for benchmark sweeps (REPRO_BENCH_JOBS, default 1).
+
+    Results are bit-identical for any job count; raising this only
+    changes wall-clock time, so it is safe for comparative runs on
+    multi-core machines.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+@pytest.fixture
+def runner():
+    """A cache-less sweep runner honouring REPRO_BENCH_JOBS."""
+    with SweepRunner(jobs=bench_jobs()) as sweep_runner:
+        yield sweep_runner
 
 
 def bench_scale() -> Scale:

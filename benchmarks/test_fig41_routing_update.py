@@ -13,8 +13,8 @@ from benchmarks.conftest import run_once
 from repro.experiments import fig41
 
 
-def test_fig41_routing_and_update_strategy(benchmark, scale):
-    result = run_once(benchmark, lambda: fig41.run(scale))
+def test_fig41_routing_and_update_strategy(benchmark, scale, runner):
+    result = run_once(benchmark, lambda: fig41.run(scale, runner=runner))
     print()
     print(result.table())
 

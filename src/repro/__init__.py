@@ -28,16 +28,26 @@ from repro.system.config import (
     TraceWorkloadConfig,
     UpdateStrategy,
 )
+from repro.system.parallel import (
+    ReplicatedResult,
+    ReplicateStats,
+    ResultCache,
+    SweepRunner,
+)
 from repro.system.results import RunResult
 from repro.system.runner import find_throughput_at_utilization, run_simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Coupling",
     "DebitCreditConfig",
+    "ReplicatedResult",
+    "ReplicateStats",
+    "ResultCache",
     "RoutingStrategy",
     "RunResult",
+    "SweepRunner",
     "SystemConfig",
     "TraceWorkloadConfig",
     "UpdateStrategy",

@@ -43,6 +43,23 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--warmup", type=float, default=2.0)
     parser.add_argument("--measure", type=float, default=8.0)
+    _add_parallel_arguments(parser)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for simulations (default 1)")
+    parser.add_argument("--seeds", type=_positive_int, default=1,
+                        help="replicates per point; >1 reports mean ± 95%% CI")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
 
 
 def _config_from_args(args: argparse.Namespace) -> SystemConfig:
@@ -64,8 +81,35 @@ def _config_from_args(args: argparse.Namespace) -> SystemConfig:
     )
 
 
+def _make_runner(args: argparse.Namespace):
+    """Build a SweepRunner from the shared --jobs/--seeds/--no-cache flags."""
+    from repro.system.parallel import ResultCache, SweepRunner
+
+    cache = None if args.no_cache else ResultCache()
+    return SweepRunner(jobs=args.jobs, seeds=args.seeds, cache=cache,
+                       progress=sys.stderr.isatty())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_simulation(_config_from_args(args))
+    config = _config_from_args(args)
+    if args.seeds > 1 or args.jobs > 1:
+        with _make_runner(args) as runner:
+            replicated = runner.run(config)
+        if args.json:
+            print(json.dumps(
+                {
+                    "seeds": replicated.seeds,
+                    "replicates": [r.as_dict() for r in replicated.results],
+                    "throughput": replicated.throughput_stats.__dict__,
+                    "response_time_ms": replicated.response_time_stats.__dict__,
+                    "cpu_utilization_max": replicated.utilization_stats.__dict__,
+                },
+                indent=2, default=str,
+            ))
+        else:
+            print(replicated.summary())
+        return 0
+    result = run_simulation(config)
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, default=str))
     else:
@@ -82,13 +126,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     scales = {"quick": Scale.quick, "smoke": Scale.smoke, "full": Scale.full}
     scale = scales[args.scale]()
     if args.figure == "all":
-        run_all(scale, args.outdir)
+        run_all(scale, args.outdir, jobs=args.jobs, seeds=args.seeds,
+                use_cache=not args.no_cache)
         return 0
     modules = dict(FIGURES)
     if args.figure == "table41":
         from repro.experiments import table41
 
-        anchor = table41.run(scale)
+        with _make_runner(args) as runner:
+            anchor = table41.run(scale, runner=runner)
         print(anchor.summary())
         for check, ok in table41.validate(anchor).items():
             print(f"  {'PASS' if ok else 'FAIL'}  {check}")
@@ -96,7 +142,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.figure not in modules:
         print(f"unknown figure {args.figure!r}", file=sys.stderr)
         return 2
-    print(modules[args.figure].run(scale).table())
+    with _make_runner(args) as runner:
+        print(modules[args.figure].run(scale, runner=runner).table())
     return 0
 
 
@@ -137,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["quick", "smoke", "full"], default="quick"
     )
     exp_parser.add_argument("--outdir", default="results")
+    _add_parallel_arguments(exp_parser)
     exp_parser.set_defaults(func=_cmd_experiments)
 
     trace_parser = sub.add_parser("trace-gen", help="generate a trace file")

@@ -4,7 +4,27 @@ from __future__ import annotations
 
 from repro.db.pages import CoherencyError
 
-__all__ = ["CoherencyError", "TransactionAborted", "BufferFullError"]
+__all__ = [
+    "CoherencyError",
+    "TransactionAborted",
+    "BufferFullError",
+    "UtilizationTargetError",
+]
+
+
+class UtilizationTargetError(Exception):
+    """The utilization target of a throughput search is unreachable.
+
+    Raised by :func:`repro.system.runner.find_throughput_at_utilization`
+    when the binary search collapses onto a boundary of ``rate_bounds``
+    with every probe on the same side of the target: no arrival rate
+    inside the bounds can produce the requested utilization.  Carries
+    the closest result observed so callers can still inspect it.
+    """
+
+    def __init__(self, message: str, best=None):
+        super().__init__(message)
+        self.best = best
 
 
 class TransactionAborted(Exception):

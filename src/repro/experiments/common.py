@@ -3,13 +3,21 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.system.config import SystemConfig
+from repro.system.parallel import ReplicatedResult, SweepRunner
 from repro.system.results import RunResult
 from repro.system.runner import run_simulation
 
-__all__ = ["Scale", "Series", "ExperimentResult", "sweep", "format_table"]
+__all__ = [
+    "Scale",
+    "Series",
+    "ExperimentResult",
+    "sweep",
+    "sweep_all",
+    "format_table",
+]
 
 
 @dataclasses.dataclass
@@ -59,12 +67,16 @@ class Scale:
         )
 
 
+#: A point's result: a plain run or a multi-seed aggregate.
+PointResult = Union[RunResult, ReplicatedResult]
+
+
 @dataclasses.dataclass
 class Series:
     """One curve of a figure: a label and one result per node count."""
 
     label: str
-    points: List[Tuple[int, RunResult]] = dataclasses.field(default_factory=list)
+    points: List[Tuple[int, PointResult]] = dataclasses.field(default_factory=list)
 
     def values(self, metric: Callable[[RunResult], float]) -> List[float]:
         return [metric(result) for _n, result in self.points]
@@ -92,12 +104,38 @@ class ExperimentResult:
                 return series
         raise KeyError(label)
 
+    def _replicated(self) -> bool:
+        """True when any point carries more than one replicate."""
+        return any(
+            isinstance(result, ReplicatedResult) and result.n_replicates > 1
+            for series in self.series
+            for _n, result in series.points
+        )
+
+    def _cell(self, result: PointResult) -> Union[float, str]:
+        if isinstance(result, ReplicatedResult) and result.n_replicates > 1:
+            stats = result.stat(self.metric)
+            return f"{stats.mean:.1f}±{stats.ci95:.1f}"
+        return self.metric(result)
+
     def table(self) -> str:
         node_counts = [n for n, _ in self.series[0].points]
+        title = f"{self.name}: {self.title} ({self.metric_label})"
+        if self._replicated():
+            n = max(
+                result.n_replicates
+                for series in self.series
+                for _n, result in series.points
+                if isinstance(result, ReplicatedResult)
+            )
+            title += f" [mean ± 95% CI over {n} seeds]"
         return format_table(
-            f"{self.name}: {self.title} ({self.metric_label})",
+            title,
             node_counts,
-            {s.label: s.values(self.metric) for s in self.series},
+            {
+                s.label: [self._cell(result) for _n, result in s.points]
+                for s in self.series
+            },
         )
 
 
@@ -105,27 +143,73 @@ def sweep(
     base_config: SystemConfig,
     node_counts: Sequence[int],
     label: str,
-    runner: Callable[[SystemConfig], RunResult] = run_simulation,
+    runner: Union[SweepRunner, Callable[[SystemConfig], RunResult], None] = None,
 ) -> Series:
-    """Run ``base_config`` for each node count."""
-    series = Series(label)
-    for num_nodes in node_counts:
-        result = runner(base_config.replace(num_nodes=num_nodes))
-        series.points.append((num_nodes, result))
+    """Run ``base_config`` for each node count.
+
+    ``runner`` may be a :class:`SweepRunner` (parallel, replicated,
+    cached execution) or any ``config -> RunResult`` callable (the
+    pre-parallel interface, kept for tests and ad-hoc drivers).
+    """
+    configs = [base_config.replace(num_nodes=n) for n in node_counts]
+    if runner is None:
+        runner = run_simulation
+    if isinstance(runner, SweepRunner):
+        results: Sequence[PointResult] = runner.run_many(configs, label=label)
+    else:
+        results = [runner(config) for config in configs]
+    return Series(label, list(zip(node_counts, results)))
+
+
+def sweep_all(
+    specs: Sequence[Tuple[str, SystemConfig]],
+    node_counts: Sequence[int],
+    runner: Optional[SweepRunner] = None,
+    label: str = "",
+) -> List[Series]:
+    """Run a whole figure's ``(label, config)`` grid as one batch.
+
+    Submitting every series' node counts together keeps a parallel
+    runner's worker pool full across the entire figure instead of
+    draining it at each series boundary.  Results come back in spec
+    order, one :class:`Series` per spec.
+    """
+    runner = runner or SweepRunner()
+    configs = [
+        config.replace(num_nodes=n)
+        for _label, config in specs
+        for n in node_counts
+    ]
+    flat = runner.run_many(configs, label=label)
+    series = []
+    stride = len(node_counts)
+    for index, (series_label, _config) in enumerate(specs):
+        chunk = flat[index * stride:(index + 1) * stride]
+        series.append(Series(series_label, list(zip(node_counts, chunk))))
     return series
 
 
 def format_table(
-    title: str, node_counts: Sequence[int], columns: Dict[str, List[float]]
+    title: str,
+    node_counts: Sequence[int],
+    columns: Dict[str, List[Union[float, str]]],
 ) -> str:
-    """Render a figure as an aligned text table (rows = #nodes)."""
+    """Render a figure as an aligned text table (rows = #nodes).
+
+    Cells may be floats (rendered ``%.1f``) or pre-formatted strings
+    (e.g. ``"72.1±3.4"`` for replicated points).
+    """
     labels = list(columns)
     width = max(12, max(len(label) for label in labels) + 2)
+
+    def cell(value: Union[float, str]) -> str:
+        if isinstance(value, str):
+            return value.rjust(width)
+        return f"{value:>{width}.1f}"
+
     header = "#nodes".rjust(8) + "".join(label.rjust(width) for label in labels)
     lines = [title, "=" * len(header), header, "-" * len(header)]
     for row_index, num_nodes in enumerate(node_counts):
-        cells = "".join(
-            f"{columns[label][row_index]:>{width}.1f}" for label in labels
-        )
+        cells = "".join(cell(columns[label][row_index]) for label in labels)
         lines.append(f"{num_nodes:>8d}" + cells)
     return "\n".join(lines)

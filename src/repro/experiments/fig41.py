@@ -13,8 +13,9 @@ FORCE/NOFORCE gap widens under random routing.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale, Series, sweep
+from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig
+from repro.system.parallel import SweepRunner
 
 __all__ = ["run", "base_config"]
 
@@ -27,8 +28,8 @@ def base_config() -> SystemConfig:
     )
 
 
-def run(scale: Scale) -> ExperimentResult:
-    series = []
+def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+    specs = []
     for routing in ("affinity", "random"):
         for update in ("noforce", "force"):
             config = base_config().replace(
@@ -37,9 +38,8 @@ def run(scale: Scale) -> ExperimentResult:
                 warmup_time=scale.warmup_time,
                 measure_time=scale.measure_time,
             )
-            series.append(
-                sweep(config, scale.node_counts, f"{routing}/{update.upper()}")
-            )
+            specs.append((f"{routing}/{update.upper()}", config))
+    series = sweep_all(specs, scale.node_counts, runner, label="fig41")
     return ExperimentResult(
         "Fig 4.1",
         "workload allocation and update strategy, GEM locking, buffer 200",

@@ -12,14 +12,15 @@ FORCE (misses turn into fast page requests instead of disk reads).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig
+from repro.system.parallel import SweepRunner
 
 __all__ = ["run"]
 
 
-def run(scale: Scale) -> ExperimentResult:
-    series = []
+def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+    specs = []
     for buffer_pages in (200, 1000):
         for update in ("noforce", "force"):
             config = SystemConfig(
@@ -30,13 +31,8 @@ def run(scale: Scale) -> ExperimentResult:
                 warmup_time=scale.warmup_time,
                 measure_time=scale.measure_time,
             )
-            series.append(
-                sweep(
-                    config,
-                    scale.node_counts,
-                    f"{update.upper()}/buf{buffer_pages}",
-                )
-            )
+            specs.append((f"{update.upper()}/buf{buffer_pages}", config))
+    series = sweep_all(specs, scale.node_counts, runner, label="fig42")
     return ExperimentResult(
         "Fig 4.2",
         "buffer size influence, random routing, GEM locking",

@@ -13,8 +13,9 @@ affinity-based routing.
 from __future__ import annotations
 
 from repro.db.schema import StorageKind
-from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import DebitCreditConfig, SystemConfig
+from repro.system.parallel import SweepRunner
 
 __all__ = ["run"]
 
@@ -31,19 +32,14 @@ def config_for(update, routing, storage, scale) -> SystemConfig:
     )
 
 
-def run(scale: Scale) -> ExperimentResult:
-    series = []
+def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+    specs = []
     for update in ("noforce", "force"):
         for routing in ("affinity", "random"):
             for storage in (StorageKind.DISK, StorageKind.GEM):
                 label = f"{update.upper()}/{routing}/{storage.value}"
-                series.append(
-                    sweep(
-                        config_for(update, routing, storage, scale),
-                        scale.node_counts,
-                        label,
-                    )
-                )
+                specs.append((label, config_for(update, routing, storage, scale)))
+    series = sweep_all(specs, scale.node_counts, runner, label="fig43")
     return ExperimentResult(
         "Fig 4.3",
         "BRANCH/TELLER allocation: disk vs GEM (buffer 1000)",

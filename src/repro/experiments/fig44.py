@@ -16,8 +16,9 @@ routing (no misses at buffer 1000).
 from __future__ import annotations
 
 from repro.db.schema import StorageKind
-from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import DebitCreditConfig, SystemConfig
+from repro.system.parallel import SweepRunner
 
 __all__ = ["run"]
 
@@ -29,8 +30,8 @@ STORAGE_KINDS = (
 )
 
 
-def run(scale: Scale) -> ExperimentResult:
-    series = []
+def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+    specs = []
     for routing in ("affinity", "random"):
         for storage in STORAGE_KINDS:
             config = SystemConfig(
@@ -42,9 +43,8 @@ def run(scale: Scale) -> ExperimentResult:
                 warmup_time=scale.warmup_time,
                 measure_time=scale.measure_time,
             )
-            series.append(
-                sweep(config, scale.node_counts, f"{routing}/{storage.value}")
-            )
+            specs.append((f"{routing}/{storage.value}", config))
+    series = sweep_all(specs, scale.node_counts, runner, label="fig44")
     return ExperimentResult(
         "Fig 4.4",
         "disk caches for BRANCH/TELLER (FORCE, buffer 1000)",

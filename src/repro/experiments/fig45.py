@@ -13,14 +13,16 @@ regular lock messages, GEM locking pays extra page-request messages).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig
+from repro.system.parallel import SweepRunner
 
 __all__ = ["run"]
 
 
-def run(scale: Scale, buffer_sizes=(200, 1000)) -> ExperimentResult:
-    series = []
+def run(scale: Scale, buffer_sizes=(200, 1000),
+        runner: SweepRunner = None) -> ExperimentResult:
+    specs = []
     for buffer_pages in buffer_sizes:
         for coupling in ("gem", "pcl"):
             for routing in ("affinity", "random"):
@@ -36,7 +38,8 @@ def run(scale: Scale, buffer_sizes=(200, 1000)) -> ExperimentResult:
                     label = (
                         f"{coupling}/{routing}/{update.upper()}/buf{buffer_pages}"
                     )
-                    series.append(sweep(config, scale.node_counts, label))
+                    specs.append((label, config))
+    series = sweep_all(specs, scale.node_counts, runner, label="fig45")
     return ExperimentResult(
         "Fig 4.5",
         "PCL vs GEM locking response times",

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.system.config import SystemConfig
+from repro.system.parallel import SweepRunner
 from repro.system.runner import find_throughput_at_utilization
 
 __all__ = ["run"]
 
 
-def run(scale: Scale) -> ExperimentResult:
+def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
     series = []
     for coupling in ("gem", "pcl"):
         for routing in ("affinity", "random"):
@@ -37,11 +38,14 @@ def run(scale: Scale) -> ExperimentResult:
                         warmup_time=scale.warmup_time,
                         measure_time=scale.measure_time,
                     )
+                    # The bisection itself is sequential, but its
+                    # opening bracket probes fan out over the runner.
                     result = find_throughput_at_utilization(
                         config,
                         target_utilization=0.80,
                         max_iterations=scale.throughput_iterations,
                         rate_bounds=(60.0, 220.0),
+                        runner=runner,
                     )
                     current.points.append((num_nodes, result))
                 series.append(current)

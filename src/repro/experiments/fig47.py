@@ -16,10 +16,9 @@ higher and more unbalanced.
 
 from __future__ import annotations
 
-import dataclasses
-
-from repro.experiments.common import ExperimentResult, Scale, sweep
+from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig, TraceWorkloadConfig
+from repro.system.parallel import SweepRunner
 
 __all__ = ["run"]
 
@@ -39,17 +38,16 @@ def trace_config(coupling, routing, scale) -> SystemConfig:
     )
 
 
-def run(scale: Scale) -> ExperimentResult:
+def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
     node_counts = [n for n in scale.node_counts if n <= 8]
     if not node_counts:
         node_counts = [1, 2]
-    series = []
+    specs = []
     for coupling in ("gem", "pcl"):
         for routing in ("affinity", "random"):
             config = trace_config(coupling, routing, scale)
-            series.append(
-                sweep(config, node_counts, f"{coupling}/{routing}")
-            )
+            specs.append((f"{coupling}/{routing}", config))
+    series = sweep_all(specs, node_counts, runner, label="fig47")
     return ExperimentResult(
         "Fig 4.7",
         "PCL vs GEM locking, real-life workload (50 TPS, buffer 1000, NOFORCE)",

@@ -3,20 +3,29 @@
 Usage::
 
     python -m repro.experiments.run_all [quick|smoke|full] [outdir]
+        [--jobs N] [--seeds K] [--no-cache]
 
 ``quick`` (default) regenerates all figures in CI-sized sweeps;
-``full`` uses paper-sized runs (substantially longer).
+``full`` uses paper-sized runs (substantially longer).  ``--jobs``
+fans the simulations of each figure out over worker processes (the
+tables are bit-identical for any job count), ``--seeds`` replicates
+every point over independent seeds and reports mean ± 95 % CI, and the
+result cache (under ``<outdir>/.simcache``) makes re-runs only
+simulate changed points -- disable it with ``--no-cache``.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 import time
+from typing import Optional
 
 from repro.experiments import fig41, fig42, fig43, fig44, fig45, fig46, fig47, table41
 from repro.experiments.common import Scale
 from repro.system.config import SystemConfig
+from repro.system.parallel import ResultCache, SweepRunner
 
 __all__ = ["run_all"]
 
@@ -31,41 +40,87 @@ FIGURES = [
 ]
 
 
-def run_all(scale: Scale, outdir: str) -> None:
+def run_all(
+    scale: Scale,
+    outdir: str,
+    jobs: int = 1,
+    seeds: int = 1,
+    use_cache: bool = True,
+    runner: Optional[SweepRunner] = None,
+) -> None:
     os.makedirs(outdir, exist_ok=True)
-    # Table 4.1 first: parameters and the anchor run.
-    started = time.time()
-    lines = []
-    width = max(len(k) for k, _ in table41.parameter_rows(SystemConfig()))
-    for key, value in table41.parameter_rows(SystemConfig()):
-        lines.append(f"{key:<{width}}  {value}")
-    anchor = table41.run(scale)
-    lines.append("")
-    lines.append(anchor.summary())
-    for check, ok in table41.validate(anchor).items():
-        lines.append(f"  {'PASS' if ok else 'FAIL'}  {check}")
-    path = os.path.join(outdir, "table41.txt")
-    with open(path, "w") as fh:
-        fh.write("\n".join(lines) + "\n")
-    print(f"table41 -> {path} ({time.time() - started:.0f}s)")
-    # All figures.
-    for name, module in FIGURES:
+    if runner is None:
+        cache = ResultCache(os.path.join(outdir, ".simcache")) if use_cache else None
+        runner = SweepRunner(jobs=jobs, seeds=seeds, cache=cache,
+                             progress=sys.stderr.isatty())
+    with runner:
+        # Table 4.1 first: parameters and the anchor run.
         started = time.time()
-        result = module.run(scale)
-        path = os.path.join(outdir, f"{name}.txt")
+        lines = []
+        width = max(len(k) for k, _ in table41.parameter_rows(SystemConfig()))
+        for key, value in table41.parameter_rows(SystemConfig()):
+            lines.append(f"{key:<{width}}  {value}")
+        anchor = table41.run(scale, runner=runner)
+        lines.append("")
+        lines.append(anchor.summary())
+        for check, ok in table41.validate(anchor).items():
+            lines.append(f"  {'PASS' if ok else 'FAIL'}  {check}")
+        path = os.path.join(outdir, "table41.txt")
         with open(path, "w") as fh:
-            fh.write(result.table() + "\n")
-        print(f"{name} -> {path} ({time.time() - started:.0f}s)")
+            fh.write("\n".join(lines) + "\n")
+        print(f"table41 -> {path} ({time.time() - started:.0f}s)")
+        # All figures.
+        for name, module in FIGURES:
+            started = time.time()
+            result = module.run(scale, runner=runner)
+            path = os.path.join(outdir, f"{name}.txt")
+            with open(path, "w") as fh:
+                fh.write(result.table() + "\n")
+            print(f"{name} -> {path} ({time.time() - started:.0f}s)")
+        print(
+            f"simulations: {runner.simulations_run} run, "
+            f"{runner.simulations_cached} from cache"
+            + (f"; {runner.cache.stats()}" if runner.cache else "")
+        )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="run_all", description="regenerate every table and figure"
+    )
+    parser.add_argument("scale", nargs="?", default="quick",
+                        choices=["quick", "smoke", "full"])
+    parser.add_argument("outdir", nargs="?", default="results")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--seeds", type=_positive_int, default=1,
+                        help="replicates per point (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
+    return parser
 
 
 def main(argv) -> int:
-    scale_name = argv[1] if len(argv) > 1 else "quick"
-    outdir = argv[2] if len(argv) > 2 else "results"
+    # Pre-argparse interface printed its own error; keep that contract.
     factory = {"quick": Scale.quick, "smoke": Scale.smoke, "full": Scale.full}
-    if scale_name not in factory:
-        print(f"unknown scale {scale_name!r}; use quick|smoke|full")
+    if len(argv) > 1 and argv[1] not in factory and not argv[1].startswith("-"):
+        print(f"unknown scale {argv[1]!r}; use quick|smoke|full")
         return 2
-    run_all(factory[scale_name](), outdir)
+    args = build_parser().parse_args(argv[1:])
+    run_all(
+        factory[args.scale](),
+        args.outdir,
+        jobs=args.jobs,
+        seeds=args.seeds,
+        use_cache=not args.no_cache,
+    )
     return 0
 
 

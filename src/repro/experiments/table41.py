@@ -71,8 +71,12 @@ def parameter_rows(config: SystemConfig) -> List[Tuple[str, str]]:
     ]
 
 
-def run(scale: Scale) -> RunResult:
-    """The single-node anchor run with Table 4.1 defaults."""
+def run(scale: Scale, runner=None) -> RunResult:
+    """The single-node anchor run with Table 4.1 defaults.
+
+    ``runner`` (a :class:`~repro.system.parallel.SweepRunner`) is
+    optional; when given, the anchor run goes through its cache.
+    """
     config = SystemConfig(
         num_nodes=1,
         coupling="gem",
@@ -81,6 +85,8 @@ def run(scale: Scale) -> RunResult:
         warmup_time=scale.warmup_time,
         measure_time=scale.measure_time,
     )
+    if runner is not None:
+        return runner.run(config, label="table41").primary
     return run_simulation(config)
 
 

@@ -14,12 +14,38 @@ import itertools
 import random
 from typing import Dict, List, Sequence
 
-__all__ = ["StreamRegistry", "Stream", "zipf_weights"]
+__all__ = ["StreamRegistry", "Stream", "derive_seed", "replicate_seed", "zipf_weights"]
 
 
-def _derive_seed(master_seed: int, name: str) -> int:
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a child seed from ``master_seed`` for a named stream.
+
+    Uses SHA-256 so the derivation is stable across Python versions and
+    processes (``hash()`` is randomized per interpreter and would break
+    reproducibility across worker processes).
+    """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Backwards-compatible alias (pre-parallel-runner name).
+_derive_seed = derive_seed
+
+
+def replicate_seed(base_seed: int, replicate: int) -> int:
+    """Master seed of replicate ``replicate`` of a multi-seed run.
+
+    Replicate 0 keeps ``base_seed`` unchanged so that single-seed runs
+    are bit-identical to runs that predate replication.  Higher
+    replicates use an independent SHA-256 derivation, which makes the
+    per-replicate seeds a pure function of ``(base_seed, replicate)``
+    -- results do not depend on worker scheduling order.
+    """
+    if replicate < 0:
+        raise ValueError("replicate must be >= 0")
+    if replicate == 0:
+        return base_seed
+    return derive_seed(base_seed, f"replicate:{replicate}")
 
 
 class Stream:

@@ -15,14 +15,24 @@ from repro.system.config import (
     SystemConfig,
     UpdateStrategy,
 )
+from repro.system.parallel import (
+    ReplicatedResult,
+    ReplicateStats,
+    ResultCache,
+    SweepRunner,
+)
 from repro.system.results import RunResult
 from repro.system.runner import run_simulation
 
 __all__ = [
     "Coupling",
     "DebitCreditConfig",
+    "ReplicatedResult",
+    "ReplicateStats",
+    "ResultCache",
     "RoutingStrategy",
     "RunResult",
+    "SweepRunner",
     "SystemConfig",
     "UpdateStrategy",
     "run_simulation",

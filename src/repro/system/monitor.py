@@ -44,6 +44,19 @@ class TimeSeriesMonitor:
             yield sim.timeout(self.interval)
             self.samples.append(self._sample())
 
+    def notify_reset(self) -> None:
+        """Re-baseline the window counters after ``cluster.reset_stats()``.
+
+        Call this when resetting mid-run (e.g. at the warm-up
+        boundary); otherwise the next window would subtract the
+        pre-reset totals from the zeroed counters and report negative
+        throughput.  :meth:`_sample` also detects the counter
+        regression on its own, so an un-notified reset degrades to one
+        empty window rather than corrupt arithmetic.
+        """
+        self._last_completed = 0
+        self._last_rt_sum = 0.0
+
     def _sample(self) -> Dict[str, Any]:
         cluster = self.cluster
         now = cluster.sim.now
@@ -51,6 +64,9 @@ class TimeSeriesMonitor:
         rt_sum = sum(
             n.response_time.mean * n.response_time.count for n in cluster.nodes
         )
+        if completed < self._last_completed:  # stats were reset mid-window
+            self._last_completed = 0
+            self._last_rt_sum = 0.0
         window_completed = completed - self._last_completed
         window_rt = rt_sum - self._last_rt_sum
         self._last_completed = completed

@@ -73,6 +73,9 @@ class RunResult:
     # -- bookkeeping ---------------------------------------------------------------
     events_processed: int = 0
     generated: int = 0
+    #: Wall-clock seconds the simulation took (host-dependent; excluded
+    #: from determinism comparisons and cache keys).
+    wall_clock_seconds: float = 0.0
 
     @property
     def throughput_per_node(self) -> float:
@@ -118,3 +121,21 @@ class RunResult:
         data["response_time_ms"] = self.response_time_ms
         data["messages_per_txn"] = self.messages_per_txn
         return data
+
+    def deterministic_dict(self) -> Dict:
+        """Simulation-determined fields only (no wall clock, no derived
+        properties).  Two runs of the same config+seed must produce
+        identical ``deterministic_dict()`` regardless of host, worker
+        process or scheduling order."""
+        data = dataclasses.asdict(self)
+        data.pop("wall_clock_seconds", None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Rebuild a result from :meth:`as_dict` output (cache loads).
+
+        Ignores derived keys (``response_time_ms`` etc.) and unknown
+        keys, so cache entries survive additive schema changes."""
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in field_names})

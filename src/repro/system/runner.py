@@ -9,22 +9,34 @@ interval, which is standard for open-model simulations.
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from typing import List, Optional, TYPE_CHECKING
 
+from repro.errors import UtilizationTargetError
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
 from repro.system.results import RunResult
 
-__all__ = ["run_simulation", "find_throughput_at_utilization"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.parallel import SweepRunner
+
+__all__ = [
+    "run_simulation",
+    "find_throughput_at_utilization",
+    "UtilizationTargetError",
+]
 
 
 def run_simulation(config: SystemConfig) -> RunResult:
     """Build a cluster from ``config`` and run one warm-up+measure cycle."""
+    started = time.perf_counter()
     cluster = Cluster(config)
     cluster.sim.run(until=config.warmup_time)
     cluster.reset_stats()
     cluster.sim.run(until=config.warmup_time + config.measure_time)
-    return cluster.collect_results(config.measure_time)
+    result = cluster.collect_results(config.measure_time)
+    result.wall_clock_seconds = time.perf_counter() - started
+    return result
 
 
 def find_throughput_at_utilization(
@@ -33,6 +45,8 @@ def find_throughput_at_utilization(
     tolerance: float = 0.02,
     max_iterations: int = 12,
     rate_bounds: Optional[tuple] = None,
+    runner: Optional["SweepRunner"] = None,
+    bracket_probes: int = 3,
 ) -> RunResult:
     """Binary-search the per-node arrival rate for a CPU utilization target.
 
@@ -40,19 +54,74 @@ def find_throughput_at_utilization(
     node for a CPU utilization of 80 %".  The *maximum* node CPU
     utilization is driven to the target so that unbalanced loosely
     coupled configurations saturate at the hottest node.
+
+    With a :class:`~repro.system.parallel.SweepRunner`, the search
+    opens with ``bracket_probes`` rate probes on a fixed grid inside
+    ``rate_bounds``; the probes are independent, so they fan out over
+    the runner's worker pool, and the bisection then starts from the
+    tightest bracket they establish.  The probe schedule depends only
+    on the arguments -- never on ``runner.jobs`` -- so parallel and
+    serial searches simulate the same points and return identical
+    results.
+
+    Raises :class:`~repro.errors.UtilizationTargetError` when the
+    search collapses onto a boundary of ``rate_bounds`` with every
+    probe on the same side of the target: the target utilization is
+    unreachable inside the bounds (previously the closest boundary
+    miss was silently returned).
     """
     if not 0 < target_utilization < 1:
         raise ValueError("target_utilization must be in (0, 1)")
-    low, high = rate_bounds or (10.0, 400.0)
+    orig_low, orig_high = rate_bounds or (10.0, 400.0)
+    low, high = orig_low, orig_high
     best: Optional[RunResult] = None
-    for _ in range(max_iterations):
-        rate = (low + high) / 2.0
-        result = run_simulation(config.replace(arrival_rate_per_node=rate))
+    ever_above = ever_below = False
+    iterations_left = max_iterations
+
+    def consider(result: RunResult) -> None:
+        nonlocal best, ever_above, ever_below
         utilization = result.cpu_utilization_max
+        if utilization > target_utilization:
+            ever_above = True
+        else:
+            ever_below = True
         if best is None or abs(utilization - target_utilization) < abs(
             best.cpu_utilization_max - target_utilization
         ):
             best = result
+
+    if runner is not None and bracket_probes > 0 and max_iterations > 1:
+        # Phase 1: parallel bracketing probes on a fixed interior grid.
+        num_probes = min(bracket_probes, max_iterations - 1)
+        rates = [
+            low + (high - low) * (k + 1) / (num_probes + 1)
+            for k in range(num_probes)
+        ]
+        probes: List[RunResult] = runner.map_raw(
+            [config.replace(arrival_rate_per_node=r) for r in rates],
+            label="bracket",
+        )
+        iterations_left -= num_probes
+        for rate, result in zip(rates, probes):
+            consider(result)
+            # Utilization grows with the arrival rate: every probe
+            # below the target raises the bracket floor, every probe
+            # above it lowers the ceiling.
+            if result.cpu_utilization_max > target_utilization:
+                high = min(high, rate)
+            else:
+                low = max(low, rate)
+        if best is not None and abs(
+            best.cpu_utilization_max - target_utilization
+        ) <= tolerance:
+            return best
+
+    simulate = (lambda c: runner.map_raw([c])[0]) if runner else run_simulation
+    for _ in range(iterations_left):
+        rate = (low + high) / 2.0
+        result = simulate(config.replace(arrival_rate_per_node=rate))
+        consider(result)
+        utilization = result.cpu_utilization_max
         if abs(utilization - target_utilization) <= tolerance:
             break
         if utilization > target_utilization:
@@ -60,4 +129,16 @@ def find_throughput_at_utilization(
         else:
             low = rate
     assert best is not None
+    miss = abs(best.cpu_utilization_max - target_utilization)
+    bracket_collapsed = (high - low) <= 0.01 * (orig_high - orig_low)
+    one_sided = ever_above != ever_below
+    if miss > tolerance and bracket_collapsed and one_sided:
+        side = "below" if ever_below else "above"
+        raise UtilizationTargetError(
+            f"target utilization {target_utilization:.0%} unreachable within "
+            f"rate bounds ({orig_low:g}, {orig_high:g}) TPS: every probe was "
+            f"{side} the target (closest: {best.cpu_utilization_max:.1%} at "
+            f"{best.arrival_rate_per_node:g} TPS)",
+            best=best,
+        )
     return best

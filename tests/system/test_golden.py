@@ -1,0 +1,113 @@
+"""Golden-result regression tests.
+
+Freezes the deterministic single-seed output of one fast point per
+figure (Fig 4.1 and Fig 4.5) so that performance refactors cannot
+silently change simulation semantics: any change to what a given
+``(config, seed)`` simulates must show up here and be acknowledged by
+regenerating the goldens (and bumping
+:data:`repro.system.parallel.CODE_VERSION`).
+
+Regenerate after an intentional semantic change with::
+
+    PYTHONPATH=src:. python tests/system/test_golden.py --regen
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import fig41
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+#: The frozen points: deterministic, single-seed, ~1 s of wall clock
+#: each.  Window lengths are pinned explicitly (not taken from a Scale
+#: preset) so preset tuning cannot move the goldens.
+POINTS = {
+    # Fig 4.1 flavour: GEM locking, affinity/NOFORCE, buffer 200.
+    "fig41_gem_affinity_noforce_n2": lambda: fig41.base_config().replace(
+        num_nodes=2,
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.5,
+        measure_time=1.5,
+    ),
+    # Fig 4.5 flavour: loose coupling (PCL), random routing, FORCE --
+    # exercises remote locking, messages and invalidations.
+    "fig45_pcl_random_force_n2": lambda: SystemConfig(
+        num_nodes=2,
+        coupling="pcl",
+        routing="random",
+        update_strategy="force",
+        buffer_pages_per_node=200,
+        warmup_time=0.5,
+        measure_time=1.5,
+    ),
+}
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def compare(expected, actual, path=""):
+    """Recursively compare with a tight relative tolerance on floats."""
+    mismatches = []
+    if isinstance(expected, dict):
+        assert set(expected) == set(actual), f"{path}: key sets differ"
+        for key in expected:
+            mismatches += compare(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(expected) == len(actual), f"{path}: lengths differ"
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            mismatches += compare(e, a, f"{path}[{i}]")
+    elif isinstance(expected, float) or isinstance(actual, float):
+        if actual != pytest.approx(expected, rel=1e-9, abs=1e-12):
+            mismatches.append(f"{path}: {expected!r} != {actual!r}")
+    else:
+        if expected != actual:
+            mismatches.append(f"{path}: {expected!r} != {actual!r}")
+    return mismatches
+
+
+@pytest.mark.parametrize("name", sorted(POINTS))
+def test_golden_point_unchanged(name):
+    path = golden_path(name)
+    assert os.path.exists(path), (
+        f"golden file {path} missing -- regenerate with "
+        "`python tests/system/test_golden.py --regen`"
+    )
+    with open(path) as fh:
+        frozen = json.load(fh)
+    result = run_simulation(POINTS[name]())
+    mismatches = compare(frozen["result"], result.deterministic_dict(), name)
+    assert not mismatches, (
+        "simulation semantics changed vs golden snapshot "
+        "(regenerate goldens and bump CODE_VERSION if intentional):\n"
+        + "\n".join(mismatches)
+    )
+
+
+def regenerate() -> None:  # pragma: no cover
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, make_config in sorted(POINTS.items()):
+        result = run_simulation(make_config())
+        with open(golden_path(name), "w") as fh:
+            json.dump(
+                {"name": name, "result": result.deterministic_dict()},
+                fh, indent=2, sort_keys=True, default=str,
+            )
+            fh.write("\n")
+        print(f"wrote {golden_path(name)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)

@@ -72,3 +72,62 @@ class TestMonitor:
         cluster = make_cluster()
         with pytest.raises(ValueError):
             TimeSeriesMonitor(cluster, interval=0.0)
+
+
+class TestMonitorAcrossResets:
+    def test_notify_reset_rebaselines_windows(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=2.0)
+        cluster.reset_stats()
+        monitor.notify_reset()
+        cluster.sim.run(until=5.0)
+        assert all(t >= 0 for t in monitor.column("throughput"))
+        assert all(rt >= 0 for rt in monitor.column("mean_response_time"))
+        # Post-reset windows keep measuring real completions.
+        assert sum(monitor.column("throughput")[2:]) > 0
+
+    def test_unnotified_reset_detected(self):
+        # Without notify_reset() the monitor must still never report
+        # negative window throughput: the counter regression is
+        # detected and the window re-baselined from zero.
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=2.0)
+        cluster.reset_stats()
+        cluster.sim.run(until=5.0)
+        assert all(t >= 0 for t in monitor.column("throughput"))
+
+    def test_windows_sum_to_post_reset_completions(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=0.5)
+        cluster.sim.run(until=1.0)
+        cluster.reset_stats()
+        monitor.notify_reset()
+        cluster.sim.run(until=4.0)
+        post_reset_windows = monitor.samples[2:]
+        counted = sum(row["throughput"] * monitor.interval
+                      for row in post_reset_windows)
+        completed = sum(n.completions.count for n in cluster.nodes)
+        # Windows cover completions up to the last sample tick.
+        assert counted == pytest.approx(completed, abs=30)
+
+
+class TestCsvRoundTrip:
+    def test_csv_parses_back_to_samples(self):
+        cluster = make_cluster()
+        monitor = TimeSeriesMonitor(cluster, interval=1.0)
+        cluster.sim.run(until=3.5)
+        csv = monitor.to_csv()
+        lines = csv.splitlines()
+        keys = lines[0].split(",")
+        assert keys == list(monitor.samples[0])
+        parsed = [
+            dict(zip(keys, (float(cell) for cell in line.split(","))))
+            for line in lines[1:]
+        ]
+        assert len(parsed) == len(monitor.samples)
+        for row, original in zip(parsed, monitor.samples):
+            for key in keys:
+                # to_csv renders %.6g: six significant digits.
+                assert row[key] == pytest.approx(float(original[key]), rel=1e-5)

@@ -1,0 +1,214 @@
+"""Tests for the parallel sweep runner, replication and result cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.rng import replicate_seed
+from repro.system.config import SystemConfig
+from repro.system.parallel import (
+    ReplicatedResult,
+    ReplicateStats,
+    ResultCache,
+    SweepRunner,
+    config_cache_key,
+    t_critical_95,
+)
+from repro.system.results import RunResult
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_nodes=1,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.3,
+        measure_time=1.0,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestReplicateSeeds:
+    def test_replicate_zero_is_identity(self):
+        assert replicate_seed(42, 0) == 42
+        assert replicate_seed(7, 0) == 7
+
+    def test_derivation_is_pure_and_distinct(self):
+        seeds = [replicate_seed(42, k) for k in range(6)]
+        assert seeds == [replicate_seed(42, k) for k in range(6)]
+        assert len(set(seeds)) == 6
+
+    def test_negative_replicate_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_seed(42, -1)
+
+
+class TestReplicateStats:
+    def test_single_sample(self):
+        stats = ReplicateStats.from_samples([3.5])
+        assert stats.mean == 3.5
+        assert stats.stddev == 0.0
+        assert stats.ci95 == 0.0
+        assert stats.n == 1
+
+    def test_mean_and_spread(self):
+        stats = ReplicateStats.from_samples([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.stddev == pytest.approx(1.0)
+        # t(df=2) * 1.0 / sqrt(3)
+        assert stats.ci95 == pytest.approx(4.303 / 3 ** 0.5)
+
+    def test_ci_width_shrinks_with_more_samples(self):
+        # Same spread, more replicates -> tighter interval (the t
+        # quantile falls and 1/sqrt(n) falls).
+        spread = [9.0, 11.0]
+        wide = ReplicateStats.from_samples(spread * 1)
+        mid = ReplicateStats.from_samples(spread * 3)
+        tight = ReplicateStats.from_samples(spread * 8)
+        assert wide.ci95 > mid.ci95 > tight.ci95 > 0
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicateStats.from_samples([])
+
+    def test_t_table(self):
+        assert t_critical_95(2) == pytest.approx(12.706)
+        assert t_critical_95(31) == pytest.approx(2.042)
+        assert t_critical_95(1000) == pytest.approx(1.96)
+
+
+class TestDeterminism:
+    def test_serial_and_pool_results_identical(self):
+        config = small_config()
+        with SweepRunner(jobs=1) as serial:
+            a = serial.run(config)
+        with SweepRunner(jobs=2) as pool:
+            b = pool.run(config)
+        assert a.primary.deterministic_dict() == b.primary.deterministic_dict()
+
+    def test_batch_order_preserved(self):
+        configs = [small_config(num_nodes=n) for n in (1, 2)]
+        with SweepRunner(jobs=2) as runner:
+            results = runner.map_raw(configs)
+        assert [r.num_nodes for r in results] == [1, 2]
+
+    def test_replicates_differ_but_are_reproducible(self):
+        config = small_config()
+        with SweepRunner(seeds=3) as runner:
+            a = runner.run(config)
+            b = runner.run(config)
+        dicts_a = [r.deterministic_dict() for r in a.results]
+        dicts_b = [r.deterministic_dict() for r in b.results]
+        assert dicts_a == dicts_b
+        # Different seeds explore different sample paths.
+        assert dicts_a[0] != dicts_a[1]
+        assert a.seeds[0] == config.random_seed
+
+    def test_ci_width_shrinks_with_more_seeds_end_to_end(self):
+        config = small_config()
+        with SweepRunner(seeds=8) as runner:
+            rep = runner.run(config)
+        samples = [r.response_time_ms for r in rep.results]
+        few = ReplicateStats.from_samples(samples[:2])
+        many = ReplicateStats.from_samples(samples)
+        assert many.ci95 < few.ci95
+        assert rep.response_time_stats.n == 8
+
+
+class TestReplicatedResult:
+    def _fake(self, rt):
+        fields = {f.name: 0 for f in dataclasses.fields(RunResult)}
+        fields.update(
+            num_nodes=1, coupling="gem", routing="affinity",
+            update_strategy="noforce", workload="debit_credit",
+            buffer_pages_per_node=200, arrival_rate_per_node=100.0,
+            measure_time=1.0, completed=10, mean_response_time=rt,
+            mean_response_time_artificial=rt, throughput_total=10.0,
+            mean_accesses_per_txn=3.0, cpu_utilization_per_node=[0.5],
+            hit_ratios={}, invalidations_per_txn={},
+        )
+        return RunResult(**fields)
+
+    def test_delegates_to_primary(self):
+        rep = ReplicatedResult([self._fake(0.07), self._fake(0.09)], [42, 43])
+        assert rep.num_nodes == 1
+        assert rep.response_time_ms == pytest.approx(70.0)
+        assert rep.n_replicates == 2
+        assert rep.stat(lambda r: r.response_time_ms).mean == pytest.approx(80.0)
+
+    def test_summary_shows_interval(self):
+        rep = ReplicatedResult([self._fake(0.07), self._fake(0.09)], [42, 43])
+        assert "±" in rep.summary()
+        single = ReplicatedResult([self._fake(0.07)], [42])
+        assert "±" not in single.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedResult([], [])
+        with pytest.raises(ValueError):
+            ReplicatedResult([self._fake(0.07)], [1, 2])
+
+
+class TestCacheKey:
+    def test_stable_for_equal_configs(self):
+        assert config_cache_key(small_config()) == config_cache_key(small_config())
+
+    def test_sensitive_to_seed_and_parameters(self):
+        base = config_cache_key(small_config())
+        assert config_cache_key(small_config(random_seed=43)) != base
+        assert config_cache_key(small_config(measure_time=2.0)) != base
+        assert config_cache_key(small_config(), code_version="other") != base
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        config = small_config()
+        cache = ResultCache(str(tmp_path / "cache"))
+        with SweepRunner(cache=cache) as runner:
+            first = runner.run(config)
+        assert runner.simulations_run == 1
+        assert cache.misses == 1
+
+        warm = ResultCache(str(tmp_path / "cache"))
+        with SweepRunner(cache=warm) as runner:
+            second = runner.run(config)
+        assert runner.simulations_run == 0
+        assert runner.simulations_cached == 1
+        assert warm.hits == 1
+        assert (
+            second.primary.deterministic_dict()
+            == first.primary.deterministic_dict()
+        )
+
+    def test_code_version_invalidates(self, tmp_path):
+        config = small_config()
+        cache = ResultCache(str(tmp_path / "cache"), code_version="v1")
+        with SweepRunner(cache=cache) as runner:
+            runner.run(config)
+        stale = ResultCache(str(tmp_path / "cache"), code_version="v2")
+        assert stale.get(config) is None
+
+    def test_different_points_do_not_collide(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        with SweepRunner(cache=cache) as runner:
+            runner.run_many([small_config(num_nodes=1), small_config(num_nodes=2)])
+        a = cache.get(small_config(num_nodes=1))
+        b = cache.get(small_config(num_nodes=2))
+        assert a.num_nodes == 1 and b.num_nodes == 2
+
+    def test_wall_clock_and_event_stats_surface(self, tmp_path):
+        with SweepRunner() as runner:
+            rep = runner.run(small_config())
+        assert rep.primary.wall_clock_seconds > 0
+        assert rep.events_total > 0
+        assert rep.wall_clock_total >= rep.primary.wall_clock_seconds
+
+
+class TestSweepRunnerValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+        with pytest.raises(ValueError):
+            SweepRunner(seeds=0)

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import UtilizationTargetError
 from repro.system.config import SystemConfig
+from repro.system.parallel import SweepRunner
 from repro.system.runner import find_throughput_at_utilization, run_simulation
 
 
@@ -50,3 +52,46 @@ class TestThroughputSearch:
     def test_invalid_target_rejected(self):
         with pytest.raises(ValueError):
             find_throughput_at_utilization(small_config(), target_utilization=1.5)
+
+    def test_unreachable_target_raises(self):
+        # At 1-5 TPS a 40-MIPS node idles; 80 % utilization cannot be
+        # reached inside the bounds, so the search must say so instead
+        # of silently returning the boundary miss.
+        with pytest.raises(UtilizationTargetError) as excinfo:
+            find_throughput_at_utilization(
+                small_config(measure_time=1.0),
+                target_utilization=0.80,
+                rate_bounds=(1.0, 5.0),
+                max_iterations=12,
+            )
+        assert "unreachable" in str(excinfo.value)
+        # The closest observed result stays inspectable.
+        assert excinfo.value.best is not None
+        assert excinfo.value.best.cpu_utilization_max < 0.5
+
+    def test_bracketed_noisy_search_does_not_raise(self):
+        # A reachable target with a loose iteration budget returns the
+        # closest result rather than raising.
+        result = find_throughput_at_utilization(
+            small_config(measure_time=1.0),
+            target_utilization=0.80,
+            tolerance=0.04,
+            max_iterations=4,
+            rate_bounds=(60.0, 220.0),
+        )
+        assert result is not None
+
+    def test_parallel_probes_match_serial_search(self):
+        config = small_config(measure_time=1.5)
+        kwargs = dict(
+            target_utilization=0.80,
+            tolerance=0.04,
+            max_iterations=6,
+            rate_bounds=(60.0, 220.0),
+        )
+        with SweepRunner(jobs=1) as serial:
+            a = find_throughput_at_utilization(config, runner=serial, **kwargs)
+        with SweepRunner(jobs=2) as pool:
+            b = find_throughput_at_utilization(config, runner=pool, **kwargs)
+        assert a.deterministic_dict() == b.deterministic_dict()
+        assert a.cpu_utilization_max == pytest.approx(0.80, abs=0.08)
