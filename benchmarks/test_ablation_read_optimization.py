@@ -8,7 +8,6 @@ routing".  This ablation runs the trace workload with the optimization
 on and off.
 """
 
-import dataclasses
 
 from benchmarks.conftest import run_once
 from repro.system.config import SystemConfig, TraceWorkloadConfig

@@ -32,7 +32,7 @@ def test_fig45_pcl_vs_gem(benchmark, scale):
         gem = rt(f"gem/affinity/{update}/buf200", last)
         pcl = rt(f"pcl/affinity/{update}/buf200", last)
         assert abs(pcl - gem) / gem < 0.12, (update, gem, pcl)
-    assert share(f"pcl/affinity/NOFORCE/buf200", last) > 0.9
+    assert share("pcl/affinity/NOFORCE/buf200", last) > 0.9
 
     # Random: PCL worse, and the gap grows with the number of nodes.
     for update in ("NOFORCE", "FORCE"):
@@ -56,11 +56,11 @@ def test_fig45_pcl_vs_gem(benchmark, scale):
     # asynchronous write-back daemon cleans pages faster than the
     # paper's model, which reduces GEM locking's page-request traffic;
     # see EXPERIMENTS.md.)
-    gap_force = rt(f"pcl/random/FORCE/buf200", last) - rt(
-        f"gem/random/FORCE/buf200", last
+    gap_force = rt("pcl/random/FORCE/buf200", last) - rt(
+        "gem/random/FORCE/buf200", last
     )
-    gap_noforce = rt(f"pcl/random/NOFORCE/buf200", last) - rt(
-        f"gem/random/NOFORCE/buf200", last
+    gap_noforce = rt("pcl/random/NOFORCE/buf200", last) - rt(
+        "gem/random/NOFORCE/buf200", last
     )
     assert gap_noforce > 0 and gap_force > 0
     assert gap_noforce <= gap_force + 12.0

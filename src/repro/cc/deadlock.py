@@ -37,23 +37,35 @@ class DeadlockDetector:
     ) -> Optional[int]:
         """Record that ``txn`` blocked in ``table``.
 
-        Runs cycle detection; if a deadlock is found, aborts the
-        youngest participant and returns its id, else returns None.
+        Runs cycle detection and aborts the youngest participant of
+        every cycle found.  The return value tells the *caller* whether
+        its own wait was broken: the victim's id if ``txn`` itself was
+        part of a resolved cycle (possibly ``txn``), else None.  The DFS
+        can surface cycles that do not contain ``txn`` at all -- those
+        are resolved too, but must not be reported as the caller's.
         """
         self._blocked[txn] = (table, abort)
-        cycle = self._find_cycle(txn)
-        if cycle is None:
-            return None
-        self.deadlocks_detected += 1
-        victim = max(cycle)  # youngest = largest transaction sequence number
-        self.victims.append(victim)
-        table_cb = self._blocked.get(victim)
-        # The victim must be blocked (all cycle members are by construction).
-        if table_cb is not None:
+        caller_victim: Optional[int] = None
+        while True:
+            cycle = self._find_cycle(txn)
+            if cycle is None:
+                return caller_victim
+            self.deadlocks_detected += 1
+            victim = max(cycle)  # youngest = largest sequence number
+            self.victims.append(victim)
+            table_cb = self._blocked.get(victim)
+            if table_cb is None:
+                # Cycle members are blocked by construction; if the
+                # victim somehow is not, bail out rather than re-finding
+                # the same cycle forever.
+                return victim if txn in cycle else caller_victim
             _table, abort_cb = table_cb
             self.clear(victim)
             abort_cb()
-        return victim
+            if txn in cycle and caller_victim is None:
+                caller_victim = victim
+            if victim == txn or not self.is_blocked(txn):
+                return caller_victim
 
     def clear(self, txn: int) -> None:
         """Forget ``txn`` (granted, cancelled or aborted)."""
@@ -79,7 +91,7 @@ class DeadlockDetector:
             path.append(txn)
             on_path.add(txn)
             for blocker in self._edges_from(txn):
-                if blocker == start and len(path) >= 1:
+                if blocker == start:
                     return list(path)
                 if blocker in on_path:
                     # A cycle not through `start`: report the sub-path.

@@ -27,6 +27,7 @@ from typing import Any, Generator, Optional, TYPE_CHECKING
 from repro.cc.base import CCProtocol, LockGrant, PageSource
 from repro.db.pages import PageId
 from repro.errors import TransactionAborted
+from repro.obs import phases
 from repro.node.lock_table import LockMode, LockTable
 from repro.sim.engine import Event
 from repro.sim.stats import Tally
@@ -49,6 +50,7 @@ class GemLockingProtocol(CCProtocol):
         self.config = cluster.config
         self.gem = cluster.gem
         self.detector = cluster.detector
+        self.recorder = cluster.recorder
         self.glt = LockTable("glt")
         self.lock_wait_time = Tally("gem.lock_wait")
         self.page_request_delay = Tally("gem.page_request_delay")
@@ -65,15 +67,23 @@ class GemLockingProtocol(CCProtocol):
 
     # -- GEM entry access helper --------------------------------------------
 
-    def _entry_ops(self, node_id: int, count: int) -> Generator[Event, Any, None]:
-        """``count`` synchronous GLT entry accesses, CPU held throughout."""
+    def _entry_ops(
+        self, node_id: int, count: int, txn_id: Optional[int] = None
+    ) -> Generator[Event, Any, None]:
+        """``count`` synchronous GLT entry accesses, CPU held throughout.
+
+        ``txn_id`` attributes the time to that transaction's GEM phase
+        (acquire path); release-path accesses pass None and stay inside
+        the covering COMMIT/BACKOFF span.
+        """
         cpu = self.cluster.nodes[node_id].cpu
-        yield cpu.request()
-        try:
-            yield cpu.busy_work(count * self.config.instructions_per_gem_entry_op)
-            yield from self.gem.access_entries(count)
-        finally:
-            cpu.release()
+        with self.recorder.span(txn_id, phases.GEM):
+            yield cpu.request()
+            try:
+                yield cpu.busy_work(count * self.config.instructions_per_gem_entry_op)
+                yield from self.gem.access_entries(count)
+            finally:
+                cpu.release()
 
     # -- lock acquisition ------------------------------------------------------
 
@@ -98,11 +108,12 @@ class GemLockingProtocol(CCProtocol):
         else:
             # Read the GLT entry and write back the updated value
             # (grant registered, or wait registered on conflict).
-            yield from self._entry_ops(node_id, 2)
+            yield from self._entry_ops(node_id, 2, txn_id=txn.txn_id)
             if self.config.gem_lock_authorizations:
                 holder = next(iter(self.glt.entry(page).auth_nodes), None)
                 if holder is not None and holder != node_id:
-                    yield from self._revoke_authorization(node, page, holder)
+                    with self.recorder.span(txn.txn_id, phases.COMM):
+                        yield from self._revoke_authorization(node, page, holder)
         wait_event = self.sim.event()
         txn_id = txn.txn_id
 
@@ -119,11 +130,14 @@ class GemLockingProtocol(CCProtocol):
                 wait_event.fail(TransactionAborted(txn_id))
 
             self.detector.register_block(txn_id, self.glt, abort_victim)
-            yield wait_event  # raises TransactionAborted if chosen victim
+            # The GLT is the global lock authority: waits here are
+            # global lock waits in the breakdown.
+            with self.recorder.span(txn_id, phases.LOCK_GLOBAL):
+                yield wait_event  # raises TransactionAborted if chosen victim
             self.lock_wait_time.record(self.sim.now - blocked_at)
             if not authorized:
                 # Re-read the entry after wake-up to observe the grant.
-                yield from self._entry_ops(node_id, 1)
+                yield from self._entry_ops(node_id, 1, txn_id=txn_id)
         txn.held_locks[page] = write or txn.held_locks.get(page, False)
         txn.local_lock_requests += 1
         entry = self.glt.entry(page)
@@ -153,18 +167,19 @@ class GemLockingProtocol(CCProtocol):
         assert grant.owner_node is not None
         self.page_requests += 1
         started = self.sim.now
-        if self.config.page_transfer_via_gem:
-            version = yield from self._page_transfer_via_gem(txn, page, grant)
-        else:
-            node = self.cluster.nodes[txn.node]
-            reply = self.sim.event()
-            yield from node.comm.send(
-                grant.owner_node,
-                "page_req",
-                {"page": page, "reply": reply, "requester": txn.node},
-            )
-            payload = yield reply
-            version = payload.get("version")
+        with self.recorder.span(txn.txn_id, phases.PAGE_TRANSFER):
+            if self.config.page_transfer_via_gem:
+                version = yield from self._page_transfer_via_gem(txn, page, grant)
+            else:
+                node = self.cluster.nodes[txn.node]
+                reply = self.sim.event()
+                yield from node.comm.send(
+                    grant.owner_node,
+                    "page_req",
+                    {"page": page, "reply": reply, "requester": txn.node},
+                )
+                payload = yield reply
+                version = payload.get("version")
         if version is None:
             self.page_requests_failed += 1
         else:

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, TYPE_C
 from repro.cc.base import CCProtocol, LockGrant, PageSource
 from repro.db.pages import PageId
 from repro.errors import TransactionAborted
+from repro.obs import phases
 from repro.node.lock_table import LockMode, LockTable
 from repro.sim.engine import Event
 from repro.sim.stats import Tally
@@ -60,6 +61,7 @@ class PrimaryCopyProtocol(CCProtocol):
         self.sim = cluster.sim
         self.config = cluster.config
         self.detector = cluster.detector
+        self.recorder = cluster.recorder
         self.gla_map = gla_map
         self.tables: List[LockTable] = [
             LockTable(f"gla{n}") for n in range(cluster.config.num_nodes)
@@ -118,7 +120,8 @@ class PrimaryCopyProtocol(CCProtocol):
         yield from self._table_request(txn.txn_id, table, page, mode)
         entry = table.entry(page)
         if mode is LockMode.EXCLUSIVE:
-            yield from self._revoke_authorizations(node, page, entry, txn.node)
+            with self.recorder.span(txn.txn_id, phases.COMM):
+                yield from self._revoke_authorizations(node, page, entry, txn.node)
         txn.held_locks[page] = (mode is LockMode.EXCLUSIVE) or txn.held_locks.get(
             page, False
         )
@@ -168,19 +171,23 @@ class PrimaryCopyProtocol(CCProtocol):
         node = self.cluster.nodes[txn.node]
         started = self.sim.now
         reply = self.sim.event()
-        yield from node.comm.send(
-            gla,
-            "lock_req",
-            {
-                "txn_id": txn.txn_id,
-                "page": page,
-                "mode": mode,
-                "cached_version": cached_version,
-                "requester": txn.node,
-                "reply": reply,
-            },
-        )
-        payload = yield reply
+        # The whole round trip is message/comm delay from the
+        # requester's point of view; the GLA-side lock wait (if any) is
+        # re-attributed to LOCK_GLOBAL by the handler's inner span.
+        with self.recorder.span(txn.txn_id, phases.COMM):
+            yield from node.comm.send(
+                gla,
+                "lock_req",
+                {
+                    "txn_id": txn.txn_id,
+                    "page": page,
+                    "mode": mode,
+                    "cached_version": cached_version,
+                    "requester": txn.node,
+                    "reply": reply,
+                },
+            )
+            payload = yield reply
         self.remote_grant_delay.record(self.sim.now - started)
         if payload.get("aborted"):
             raise TransactionAborted(txn.txn_id)
@@ -211,7 +218,9 @@ class PrimaryCopyProtocol(CCProtocol):
         table = self.tables[node.node_id]
         yield from node.cpu.consume(self.config.instructions_per_lock_op)
         try:
-            yield from self._table_request(txn_id, table, page, mode)
+            yield from self._table_request(
+                txn_id, table, page, mode, phase=phases.LOCK_GLOBAL
+            )
         except TransactionAborted:
             yield from node.comm.send(
                 requester, "lock_rsp", {"aborted": True}, reply_event=reply
@@ -243,9 +252,21 @@ class PrimaryCopyProtocol(CCProtocol):
         )
 
     def _table_request(
-        self, txn_id: int, table: LockTable, page: PageId, mode: LockMode
+        self,
+        txn_id: int,
+        table: LockTable,
+        page: PageId,
+        mode: LockMode,
+        phase: str = phases.LOCK_LOCAL,
     ) -> Generator[Event, Any, None]:
-        """Request a lock in ``table``, waiting (with deadlock handling)."""
+        """Request a lock in ``table``, waiting (with deadlock handling).
+
+        ``phase`` classifies a blocked wait for the response-time
+        breakdown; the GLA-side handler of a remote request passes
+        LOCK_GLOBAL so the wait is charged to the *requesting*
+        transaction as a global lock wait (its process is suspended
+        inside a COMM span meanwhile, so the retag nests correctly).
+        """
         wait_event = self.sim.event()
 
         def on_grant() -> None:
@@ -261,7 +282,8 @@ class PrimaryCopyProtocol(CCProtocol):
             wait_event.fail(TransactionAborted(txn_id))
 
         self.detector.register_block(txn_id, table, abort_victim)
-        yield wait_event  # raises TransactionAborted if chosen as victim
+        with self.recorder.span(txn_id, phase):
+            yield wait_event  # raises TransactionAborted if chosen as victim
         self.lock_wait_time.record(self.sim.now - blocked_at)
 
     # -- read-authorization revocation ---------------------------------------

@@ -92,6 +92,22 @@ def _make_runner(args: argparse.Namespace):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    if args.trace:
+        from repro.obs import run_traced
+
+        result, monitor = run_traced(config, args.trace)
+        csv_path = args.trace + ".devices.csv"
+        with open(csv_path, "w") as fh:
+            fh.write(monitor.to_csv() + "\n")
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2, default=str))
+        else:
+            print(result.summary())
+            print(result.response_breakdown.table())
+            print(f"trace -> {args.trace}\ndevice series -> {csv_path}")
+        return 0
+    if args.breakdown:
+        config = config.replace(collect_breakdown=True)
     if args.seeds > 1 or args.jobs > 1:
         with _make_runner(args) as runner:
             replicated = runner.run(config)
@@ -116,6 +132,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.summary())
         print("hit ratios: "
               + ", ".join(f"{k}={v:.0%}" for k, v in result.hit_ratios.items()))
+        if args.breakdown and result.response_breakdown is not None:
+            print(result.response_breakdown.table())
     return 0
 
 
@@ -173,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="simulate one configuration")
     _add_config_arguments(run_parser)
     run_parser.add_argument("--json", action="store_true")
+    run_parser.add_argument(
+        "--breakdown", action="store_true",
+        help="collect and print the response-time decomposition",
+    )
+    run_parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="export a Chrome-trace JSON (about://tracing / Perfetto) of "
+             "the run to FILE, plus FILE.devices.csv with per-device "
+             "utilization time series; implies --breakdown",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     exp_parser = sub.add_parser("experiments", help="regenerate tables/figures")

@@ -17,7 +17,6 @@ as its own partition.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.db.pages import PageId
 from repro.db.schema import Database, Partition

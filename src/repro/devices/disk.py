@@ -148,6 +148,10 @@ class DiskArray:
     def mean_disk_utilization(self) -> float:
         return sum(disk.utilization() for disk in self.disks) / len(self.disks)
 
+    def busy_time(self, now=None) -> float:
+        """Accumulated busy disk-seconds over the whole array."""
+        return sum(disk.busy_time(now) for disk in self.disks)
+
     def reset_stats(self) -> None:
         for disk in self.disks:
             disk.reset_stats()

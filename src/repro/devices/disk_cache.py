@@ -18,7 +18,7 @@ dirtiness.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.db.pages import PageId
 

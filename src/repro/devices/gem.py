@@ -64,6 +64,10 @@ class GemDevice:
     def utilization(self) -> float:
         return self.server.utilization()
 
+    def busy_time(self, now=None) -> float:
+        """Accumulated busy server-seconds since the last reset."""
+        return self.server.busy_time(now)
+
     def reset_stats(self) -> None:
         self.server.reset_stats()
         self.page_accesses = 0

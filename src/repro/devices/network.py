@@ -42,6 +42,10 @@ class Network:
     def utilization(self) -> float:
         return self.server.utilization()
 
+    def busy_time(self, now=None) -> float:
+        """Accumulated busy medium-seconds since the last reset."""
+        return self.server.busy_time(now)
+
     def reset_stats(self) -> None:
         self.server.reset_stats()
         self.bytes_transmitted = 0

@@ -138,6 +138,48 @@ class ExperimentResult:
             },
         )
 
+    def breakdown_table(self, num_nodes: Optional[int] = None) -> str:
+        """Response-time decomposition at one node count (default: the
+        largest swept), one row per series, one column per phase in ms.
+
+        Returns "" when no series carries a breakdown (collection off).
+        """
+        from repro.obs import phases
+
+        if not self.series or not self.series[0].points:
+            return ""
+        chosen = num_nodes
+        if chosen is None:
+            chosen = max(n for n, _r in self.series[0].points)
+        rows: List[Tuple[str, Dict[str, float]]] = []
+        for series in self.series:
+            for n, result in series.points:
+                if n != chosen:
+                    continue
+                breakdown = getattr(result, "breakdown", None)
+                if breakdown:
+                    rows.append((series.label, breakdown))
+        if not rows:
+            return ""
+        width = max(12, max(len(label) for label, _b in rows) + 2)
+        phase_width = max(len(p) for p in phases.PHASES) + 2
+        title = (
+            f"{self.name}: response-time breakdown at N={chosen} "
+            "[ms per committed txn]"
+        )
+        header = "series".ljust(width) + "".join(
+            p.rjust(phase_width) for p in phases.PHASES
+        ) + "total".rjust(phase_width)
+        lines = [title, "=" * len(header), header, "-" * len(header)]
+        for label, breakdown in rows:
+            cells = "".join(
+                f"{breakdown.get(p, 0.0) * 1e3:>{phase_width}.2f}"
+                for p in phases.PHASES
+            )
+            total = sum(breakdown.values()) * 1e3
+            lines.append(label.ljust(width) + cells + f"{total:>{phase_width}.2f}")
+        return "\n".join(lines)
+
 
 def sweep(
     base_config: SystemConfig,

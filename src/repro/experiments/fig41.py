@@ -25,6 +25,7 @@ def base_config() -> SystemConfig:
         coupling="gem",
         buffer_pages_per_node=200,
         arrival_rate_per_node=100.0,
+        collect_breakdown=True,
     )
 
 
@@ -55,3 +56,5 @@ if __name__ == "__main__":  # pragma: no cover
         for s in result.series
     }
     print("\nBRANCH/TELLER hit ratios:", bt_hits)
+    print()
+    print(result.breakdown_table())

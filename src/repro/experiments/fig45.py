@@ -34,6 +34,7 @@ def run(scale: Scale, buffer_sizes=(200, 1000),
                         buffer_pages_per_node=buffer_pages,
                         warmup_time=scale.warmup_time,
                         measure_time=scale.measure_time,
+                        collect_breakdown=True,
                     )
                     label = (
                         f"{coupling}/{routing}/{update.upper()}/buf{buffer_pages}"
@@ -54,3 +55,5 @@ if __name__ == "__main__":  # pragma: no cover
         if s.label.startswith("pcl"):
             shares = [round(r.local_lock_share, 2) for _n, r in s.points]
             print(f"local lock share {s.label}: {shares}")
+    print()
+    print(result.breakdown_table())

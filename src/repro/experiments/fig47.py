@@ -35,6 +35,7 @@ def trace_config(coupling, routing, scale) -> SystemConfig:
         trace=TraceWorkloadConfig(scale=scale.trace_scale),
         warmup_time=scale.warmup_time,
         measure_time=scale.measure_time,
+        collect_breakdown=True,
     )
 
 
@@ -64,3 +65,5 @@ if __name__ == "__main__":  # pragma: no cover
         if s.label.startswith("pcl"):
             shares = [round(r.local_lock_share, 2) for _n, r in s.points]
             print(f"local lock share {s.label}: {shares}")
+    print()
+    print(result.breakdown_table())

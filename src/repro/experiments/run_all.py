@@ -76,6 +76,11 @@ def run_all(
             path = os.path.join(outdir, f"{name}.txt")
             with open(path, "w") as fh:
                 fh.write(result.table() + "\n")
+            breakdown = result.breakdown_table()
+            if breakdown:
+                breakdown_path = os.path.join(outdir, f"{name}_breakdown.txt")
+                with open(breakdown_path, "w") as fh:
+                    fh.write(breakdown + "\n")
             print(f"{name} -> {path} ({time.time() - started:.0f}s)")
         print(
             f"simulations: {runner.simulations_run} run, "

@@ -31,6 +31,7 @@ from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
 from repro.cc.base import LockGrant, PageSource
 from repro.db.pages import CoherencyError, PageId, VersionLedger
 from repro.errors import BufferFullError
+from repro.obs import phases
 from repro.sim.engine import Event
 from repro.workload.transaction import PageAccess, Transaction
 
@@ -199,7 +200,8 @@ class BufferManager:
             if first_touch:
                 stats.misses += 1
         if frame is None:
-            yield from self._fetch(txn, page, expected, grant)
+            with self.node.recorder.span(txn.txn_id, phases.IO):
+                yield from self._fetch(txn, page, expected, grant)
         if page_access.write:
             self._apply_write(txn, page, expected)
 
@@ -225,10 +227,11 @@ class BufferManager:
         else:
             if first_touch:
                 stats.misses += 1
-            if not page_access.append:
-                yield from self.node.storage.read(page, self.node.cpu)
-            # Appends allocate the fresh page directly in the buffer.
-            yield from self._insert(page, 0, dirty=False)
+            with self.node.recorder.span(txn.txn_id, phases.IO):
+                if not page_access.append:
+                    yield from self.node.storage.read(page, self.node.cpu)
+                # Appends allocate the fresh page directly in the buffer.
+                yield from self._insert(page, 0, dirty=False)
             frame = self._frames.get(page)
         if page_access.write and page not in txn.modified_unlocked:
             txn.modified_unlocked.add(page)
@@ -255,7 +258,7 @@ class BufferManager:
         if frame.pins:
             raise CoherencyError(
                 f"stale frame for page {page} at node {self.node.node_id} "
-                f"is pinned -- protocol bug"
+                "is pinned -- protocol bug"
             )
         if frame.evicting:
             # A write-back of the old version is in flight; the evictor
@@ -439,7 +442,7 @@ class BufferManager:
             return fallback
         raise BufferFullError(
             f"node {self.node.node_id}: all {self.capacity} frames pinned; "
-            f"increase buffer size or lower MPL"
+            "increase buffer size or lower MPL"
         )
 
     # -- commit and abort ------------------------------------------------------

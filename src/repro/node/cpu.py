@@ -81,6 +81,10 @@ class CpuPool:
     def utilization(self) -> float:
         return self.resource.utilization()
 
+    def busy_time(self, now=None) -> float:
+        """Accumulated busy CPU-seconds since the last reset."""
+        return self.resource.busy_time(now)
+
     def reset_stats(self) -> None:
         self.resource.reset_stats()
         self.instructions_executed = 0.0

@@ -240,3 +240,11 @@ class LockTable:
 
     def num_entries(self) -> int:
         return len(self._entries)
+
+    def num_blocked(self) -> int:
+        """Number of transactions currently waiting in this table."""
+        return len(self._blocked)
+
+    def max_queue_length(self) -> int:
+        """Longest current wait queue over all entries."""
+        return max((len(e.queue) for e in self._entries.values()), default=0)

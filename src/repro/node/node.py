@@ -9,7 +9,6 @@ from typing import Any, Callable, Dict, Generator, TYPE_CHECKING
 from repro.node.buffer_manager import BufferManager
 from repro.node.comm import CommSubsystem
 from repro.node.cpu import CpuPool
-from repro.sim.engine import Event
 from repro.sim.resources import Resource, Store
 from repro.sim.stats import Counter, Tally
 
@@ -41,6 +40,7 @@ class Node:
         self.comm = CommSubsystem(sim, self, cluster)
         self.mailbox = Store(sim, name=f"node{node_id}.mailbox")
         self.mpl = Resource(sim, config.mpl_per_node, name=f"node{node_id}.mpl")
+        self.recorder = cluster.recorder
         #: Set by the cluster once the protocol is constructed.
         self.protocol = None
         #: Read-authorization cache (populated by PCL when enabled).
@@ -101,6 +101,7 @@ class Node:
         self.response_time.record(response_time)
         if txn.num_accesses:
             self.response_time_per_access.record(response_time / txn.num_accesses)
+        self.recorder.txn_end(txn.txn_id, self.sim.now)
 
     def cpu_utilization(self) -> float:
         return self.cpu.utilization()

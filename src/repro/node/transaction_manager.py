@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Generator, TYPE_CHECKING
 
 from repro.errors import TransactionAborted
+from repro.obs import phases
 from repro.sim.engine import Event
 from repro.workload.transaction import PageAccess, Transaction
 
@@ -46,10 +47,18 @@ class TransactionManager:
         txn.node = self.node.node_id
         txn.arrival_time = self.sim.now
         self.node.arrivals.increment()
+        self.node.recorder.txn_begin(txn.txn_id, self.node.node_id, self.sim.now)
         self.sim.process(self._lifecycle(txn), name=f"txn-{txn.txn_id}")
 
     def _lifecycle(self, txn: Transaction):
-        yield self.node.mpl.request()
+        recorder = self.node.recorder
+        request = self.node.mpl.request()
+        try:
+            with recorder.span(txn.txn_id, phases.INPUT_QUEUE):
+                yield request
+        except BaseException:
+            self.node.mpl.cancel(request)
+            raise
         try:
             txn.start_time = self.sim.now
             while True:
@@ -59,8 +68,9 @@ class TransactionManager:
                 except TransactionAborted:
                     self.node.aborts.increment()
                     txn.restarts += 1
-                    yield from self._rollback(txn)
-                    yield self.sim.timeout(self.stream.exponential(0.01))
+                    with recorder.span(txn.txn_id, phases.BACKOFF):
+                        yield from self._rollback(txn)
+                        yield self.sim.timeout(self.stream.exponential(0.01))
                     txn.reset_runtime()
             self.node.record_completion(txn, self.sim.now - txn.arrival_time)
         finally:
@@ -68,23 +78,27 @@ class TransactionManager:
 
     def _execute_once(self, txn: Transaction) -> Generator[Event, Any, None]:
         node = self.node
-        yield from node.cpu.consume_exp(self.instr_bot)
+        recorder = node.recorder
+        with recorder.span(txn.txn_id, phases.CPU):
+            yield from node.cpu.consume_exp(self.instr_bot)
         for access in txn.accesses:
             self._materialize_history(access)
-            yield from node.cpu.consume_exp(self.instr_per_access)
+            with recorder.span(txn.txn_id, phases.CPU):
+                yield from node.cpu.consume_exp(self.instr_per_access)
             grant = None
             if access.lockable:
                 grant = yield from self._lock(txn, access)
             yield from node.buffer.access(txn, access, grant)
-        # -- commit phase 1: log and (FORCE) force-writes ----------------
-        yield from node.cpu.consume_exp(self.instr_eot)
-        yield from node.buffer.commit_phase1(txn)
-        # The modified versions become the globally committed ones.
-        for page, version in txn.modified.items():
-            node.cluster.ledger.install_commit(page, version)
-        # -- commit phase 2: publish sequence numbers, release locks -----
-        yield from node.protocol.commit_release(txn)
-        node.buffer.finish_commit(txn)
+        # Commit processing: EOT CPU, log (and FORCE force-writes),
+        # sequence-number publication and lock release.
+        with recorder.span(txn.txn_id, phases.COMMIT):
+            yield from node.cpu.consume_exp(self.instr_eot)
+            yield from node.buffer.commit_phase1(txn)
+            # The modified versions become the globally committed ones.
+            for page, version in txn.modified.items():
+                node.cluster.ledger.install_commit(page, version)
+            yield from node.protocol.commit_release(txn)
+            node.buffer.finish_commit(txn)
 
     def _lock(self, txn: Transaction, access: PageAccess):
         """Acquire the page lock unless an adequate one is held."""

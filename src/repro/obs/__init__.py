@@ -1,0 +1,36 @@
+"""Structured tracing and metrics (response-time decomposition).
+
+The observability layer decomposes every transaction's response time
+into named phases (see :mod:`repro.obs.phases`): input-queue wait, CPU
+service and queuing, lock waits (local vs. global), buffer-miss I/O,
+GEM entry/page access, message delay, page-transfer wait, commit
+processing and abort/restart overhead.
+
+Model components report phases through *span* hooks on a recorder:
+
+* :data:`NULL_RECORDER` (the default) makes every hook a no-op so the
+  simulation pays nothing when tracing is off;
+* :class:`PhaseRecorder` (``config.collect_breakdown``) attributes
+  simulated time to the innermost open span of each transaction and
+  aggregates per-phase means that sum *exactly* to the measured mean
+  response time;
+* with ``config.trace_spans`` every span is additionally retained and
+  can be exported as Chrome-trace-format JSON
+  (:func:`repro.obs.chrome.export_chrome_trace`, viewable in
+  Perfetto / ``about://tracing``).
+"""
+
+from repro.obs.breakdown import ResponseTimeBreakdown, format_breakdown
+from repro.obs.chrome import chrome_trace_events, export_chrome_trace, run_traced
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, PhaseRecorder
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PhaseRecorder",
+    "ResponseTimeBreakdown",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "format_breakdown",
+    "run_traced",
+]

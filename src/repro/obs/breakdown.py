@@ -1,0 +1,59 @@
+"""Per-run response-time decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.obs import phases
+
+__all__ = ["ResponseTimeBreakdown", "format_breakdown"]
+
+
+@dataclass(frozen=True)
+class ResponseTimeBreakdown:
+    """Mean seconds spent per phase per committed transaction.
+
+    The components partition the measured mean response time: their sum
+    equals the run's mean RT (the residual is explicit in ``other``).
+    """
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def get(self, phase: str) -> float:
+        return self.components.get(phase, 0.0)
+
+    def share(self, phase: str) -> float:
+        """Fraction of the total response time spent in ``phase``."""
+        total = self.total
+        return self.components.get(phase, 0.0) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.components)
+
+    def table(self) -> str:
+        """Two-column phase/ms table, phases in canonical order."""
+        lines = [f"{'phase':<14} {'ms':>9} {'share':>7}"]
+        for phase in phases.PHASES:
+            seconds = self.components.get(phase, 0.0)
+            lines.append(
+                f"{phase:<14} {seconds * 1e3:>9.3f} {self.share(phase):>6.1%}"
+            )
+        lines.append(f"{'total':<14} {self.total * 1e3:>9.3f}")
+        return "\n".join(lines)
+
+
+def format_breakdown(components: Optional[Mapping[str, float]]) -> str:
+    """One-line ``phase=ms`` rendering of a breakdown dict (or '-')."""
+    if not components:
+        return "-"
+    parts = []
+    for phase in phases.PHASES:
+        seconds = components.get(phase, 0.0)
+        if seconds > 0.0:
+            parts.append(f"{phase}={seconds * 1e3:.2f}ms")
+    return " ".join(parts) if parts else "-"

@@ -1,0 +1,101 @@
+"""Chrome-trace-format export (``about://tracing`` / Perfetto).
+
+Transactions and phase spans become "X" (complete) events with one
+process per node and one thread per transaction; per-device utilization
+samples from a :class:`~repro.system.monitor.TimeSeriesMonitor` become
+"C" (counter) events.  Timestamps are microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["chrome_trace_events", "export_chrome_trace"]
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+
+def chrome_trace_events(recorder, monitor=None) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list from a keep-spans recorder."""
+    events: List[Dict[str, Any]] = []
+    nodes = set()
+    for txn in recorder.transactions:
+        nodes.add(txn.node_id)
+        events.append({
+            "name": "txn",
+            "cat": "transaction",
+            "ph": "X",
+            "ts": txn.start * _US,
+            "dur": (txn.end - txn.start) * _US,
+            "pid": txn.node_id,
+            "tid": txn.txn_id,
+            "args": {"txn_id": txn.txn_id, "committed": txn.committed},
+        })
+    for span in recorder.spans:
+        nodes.add(span.node_id)
+        events.append({
+            "name": span.phase,
+            "cat": "phase",
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": (span.end - span.start) * _US,
+            "pid": span.node_id,
+            "tid": span.txn_id,
+            "args": {"depth": span.depth},
+        })
+    for node_id in sorted(nodes):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": node_id,
+            "args": {"name": f"node {node_id}"},
+        })
+    if monitor is not None:
+        for row in monitor.samples:
+            timestamp = row["time"] * _US
+            for key, value in row.items():
+                if key.startswith("util."):
+                    events.append({
+                        "name": key[len("util."):],
+                        "cat": "utilization",
+                        "ph": "C",
+                        "ts": timestamp,
+                        "pid": 0,
+                        "args": {"utilization": value},
+                    })
+    return events
+
+
+def export_chrome_trace(recorder, path: str, monitor=None) -> None:
+    """Write a Chrome-trace JSON object file to ``path``."""
+    document = {
+        "traceEvents": chrome_trace_events(recorder, monitor),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, allow_nan=False)
+
+
+def run_traced(config, trace_path: str, monitor_interval: Optional[float] = None):
+    """Simulate ``config`` with full span tracing and export the trace.
+
+    Returns ``(result, monitor)``; the Chrome-trace JSON is written to
+    ``trace_path``.  The monitor samples per-device utilization over the
+    whole run (including warmup, which the trace also covers).
+    """
+    from repro.system.cluster import Cluster
+    from repro.system.monitor import TimeSeriesMonitor
+
+    traced = config.replace(trace_spans=True, collect_breakdown=True)
+    cluster = Cluster(traced)
+    if monitor_interval is None:
+        monitor_interval = max(traced.measure_time / 50.0, 0.01)
+    monitor = TimeSeriesMonitor(cluster, interval=monitor_interval, devices=True)
+    cluster.sim.run(until=traced.warmup_time)
+    cluster.reset_stats()
+    monitor.notify_reset()
+    cluster.sim.run(until=traced.warmup_time + traced.measure_time)
+    result = cluster.collect_results(traced.measure_time)
+    export_chrome_trace(cluster.recorder, trace_path, monitor)
+    return result, monitor

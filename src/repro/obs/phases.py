@@ -1,0 +1,65 @@
+"""Named response-time phases.
+
+Every phase is a plain string constant; :data:`PHASES` fixes the
+canonical reporting order.  Attribution is *innermost wins*: when spans
+nest (a page-transfer wait inside a buffer-miss fetch), the time is
+charged to the innermost open span, so the per-phase components of a
+transaction partition its response time without double counting.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BACKOFF",
+    "COMM",
+    "COMMIT",
+    "CPU",
+    "GEM",
+    "INPUT_QUEUE",
+    "IO",
+    "LOCK_GLOBAL",
+    "LOCK_LOCAL",
+    "OTHER",
+    "PAGE_TRANSFER",
+    "PHASES",
+]
+
+#: Waiting in the node's input queue for a free MPL slot.
+INPUT_QUEUE = "input_queue"
+#: CPU service and CPU queuing of the transaction path (BOT/accesses).
+CPU = "cpu"
+#: Lock wait resolved at the local node (own GLA partition).
+LOCK_LOCAL = "lock_local"
+#: Lock wait at the global authority (GEM GLT or a remote GLA table).
+LOCK_GLOBAL = "lock_global"
+#: Buffer-miss I/O against permanent storage (incl. eviction writes
+#: performed on the transaction's critical path).
+IO = "io"
+#: Synchronous GEM entry accesses of the GEM locking protocol.
+GEM = "gem"
+#: Message exchanges (send overhead, transmission, remote processing).
+COMM = "comm"
+#: Waiting for a page transfer from the owning node's buffer.
+PAGE_TRANSFER = "page_transfer"
+#: Commit processing: EOT CPU, log write, force writes, lock release.
+COMMIT = "commit"
+#: Abort handling: rollback, release and restart back-off delay.
+BACKOFF = "backoff"
+#: Residual response time not covered by any span (kept explicit so
+#: the components always sum to the measured response time).
+OTHER = "other"
+
+#: Canonical reporting order of all phases.
+PHASES = (
+    INPUT_QUEUE,
+    CPU,
+    LOCK_LOCAL,
+    LOCK_GLOBAL,
+    IO,
+    GEM,
+    COMM,
+    PAGE_TRANSFER,
+    COMMIT,
+    BACKOFF,
+    OTHER,
+)

@@ -1,0 +1,232 @@
+"""Span recorders: the hook surface of the observability layer.
+
+Model components call three hooks — ``txn_begin``, ``span`` and
+``txn_end`` — on whatever recorder the cluster carries.  The default
+:data:`NULL_RECORDER` turns every hook into a constant-time no-op, so
+the instrumented hot paths cost nothing measurable when tracing is off.
+
+:class:`PhaseRecorder` keeps, per in-flight transaction, a stack of
+open spans.  Time is attributed to the *innermost* open span: pushing a
+span closes the covering span's current segment, popping resumes it.
+Whatever the spans do not cover lands in the explicit ``other`` bucket
+when the transaction ends, so the per-phase components always partition
+the transaction's measured response time exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.obs import phases
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "PhaseRecorder", "SpanEvent", "TxnEvent"]
+
+
+class _NullSpan:
+    """Context manager that does nothing; shared singleton."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder whose every hook is a no-op (tracing disabled)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def txn_begin(self, txn_id, node_id, now):
+        pass
+
+    def txn_end(self, txn_id, now, committed=True):
+        pass
+
+    def span(self, txn_id, phase):
+        return _NULL_SPAN
+
+    def reset(self):
+        pass
+
+
+#: Shared process-wide null recorder.
+NULL_RECORDER = NullRecorder()
+
+
+class SpanEvent(NamedTuple):
+    """One closed span (kept only when ``keep_spans`` is set)."""
+
+    txn_id: int
+    node_id: int
+    phase: str
+    start: float
+    end: float
+    depth: int
+
+
+class TxnEvent(NamedTuple):
+    """One finished transaction (kept only when ``keep_spans`` is set)."""
+
+    txn_id: int
+    node_id: int
+    start: float
+    end: float
+    committed: bool
+
+
+class _TxnRecord:
+    __slots__ = ("txn_id", "node_id", "begin", "stack", "totals")
+
+    def __init__(self, txn_id: int, node_id: int, begin: float):
+        self.txn_id = txn_id
+        self.node_id = node_id
+        self.begin = begin
+        # Stack entries are mutable [phase, segment_start, span_start].
+        self.stack: List[list] = []
+        self.totals: Dict[str, float] = {}
+
+
+class _Span:
+    """Context manager pushing/popping one phase on a transaction."""
+
+    __slots__ = ("_recorder", "_txn_id", "_phase")
+
+    def __init__(self, recorder: "PhaseRecorder", txn_id, phase: str):
+        self._recorder = recorder
+        self._txn_id = txn_id
+        self._phase = phase
+
+    def __enter__(self):
+        self._recorder._push(self._txn_id, self._phase)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._recorder._pop(self._txn_id, self._phase)
+        return False
+
+
+class PhaseRecorder:
+    """Attribute simulated time to per-transaction phase spans.
+
+    The recorder is observation-only: it reads the simulation clock but
+    never schedules events, so enabling it cannot perturb the simulated
+    metrics.  With ``keep_spans`` every closed span and transaction is
+    additionally retained for trace export.
+    """
+
+    enabled = True
+
+    def __init__(self, sim, keep_spans: bool = False):
+        self.sim = sim
+        self.keep_spans = keep_spans
+        self._active: Dict[int, _TxnRecord] = {}
+        self.spans: List[SpanEvent] = []
+        self.transactions: List[TxnEvent] = []
+        # Aggregates over finished transactions since the last reset.
+        self.txn_count = 0
+        self.rt_seconds = 0.0
+        self.phase_seconds: Dict[str, float] = {p: 0.0 for p in phases.PHASES}
+
+    # -- transaction lifecycle -------------------------------------------
+
+    def txn_begin(self, txn_id: int, node_id: int, now: float) -> None:
+        self._active[txn_id] = _TxnRecord(txn_id, node_id, now)
+
+    def txn_end(self, txn_id: int, now: float, committed: bool = True) -> None:
+        record = self._active.pop(txn_id, None)
+        if record is None:
+            return
+        totals = record.totals
+        # Close any spans still open (abort paths unwinding through the
+        # context managers close them; this is a safety net).
+        while record.stack:
+            phase, segment_start, span_start = record.stack.pop()
+            totals[phase] = totals.get(phase, 0.0) + (now - segment_start)
+            if self.keep_spans:
+                self.spans.append(SpanEvent(
+                    txn_id, record.node_id, phase, span_start, now,
+                    len(record.stack),
+                ))
+        response_time = now - record.begin
+        attributed = 0.0
+        phase_seconds = self.phase_seconds
+        for phase, seconds in totals.items():
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+            attributed += seconds
+        phase_seconds[phases.OTHER] += response_time - attributed
+        self.txn_count += 1
+        self.rt_seconds += response_time
+        if self.keep_spans:
+            self.transactions.append(TxnEvent(
+                txn_id, record.node_id, record.begin, now, committed
+            ))
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, txn_id: Optional[int], phase: str) -> _Span:
+        return _Span(self, txn_id, phase)
+
+    def _push(self, txn_id, phase: str) -> None:
+        record = self._active.get(txn_id)
+        if record is None:
+            return
+        now = self.sim.now
+        stack = record.stack
+        if stack:
+            top = stack[-1]
+            record.totals[top[0]] = (
+                record.totals.get(top[0], 0.0) + (now - top[1])
+            )
+            top[1] = now
+        stack.append([phase, now, now])
+
+    def _pop(self, txn_id, phase: str) -> None:
+        record = self._active.get(txn_id)
+        if record is None or not record.stack:
+            return
+        top = record.stack[-1]
+        if top[0] != phase:
+            # Mismatched pop (transaction record replaced mid-span or a
+            # hook bug); attribute nothing rather than corrupt the stack.
+            return
+        record.stack.pop()
+        now = self.sim.now
+        record.totals[phase] = record.totals.get(phase, 0.0) + (now - top[1])
+        if record.stack:
+            record.stack[-1][1] = now
+        if self.keep_spans:
+            self.spans.append(SpanEvent(
+                txn_id, record.node_id, phase, top[2], now, len(record.stack)
+            ))
+
+    # -- aggregation -----------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop aggregates at the warmup boundary.
+
+        In-flight transactions keep their accumulated spans: they will
+        finish during the measurement window and enter the response-time
+        tally with their full arrival-to-commit time, so the breakdown
+        must account for their pre-reset phases too.  Raw spans are kept
+        as well -- a trace covers the whole run.
+        """
+        self.txn_count = 0
+        self.rt_seconds = 0.0
+        self.phase_seconds = {p: 0.0 for p in phases.PHASES}
+
+    def breakdown(self) -> Dict[str, float]:
+        """Mean seconds per phase per finished transaction."""
+        if self.txn_count == 0:
+            return {p: 0.0 for p in phases.PHASES}
+        count = self.txn_count
+        return {
+            p: self.phase_seconds.get(p, 0.0) / count for p in phases.PHASES
+        }

@@ -11,7 +11,7 @@ routing table (see :mod:`repro.routing.routing_table`).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.workload.transaction import Transaction
 

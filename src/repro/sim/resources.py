@@ -83,13 +83,45 @@ class Resource:
             self.queue_stat.update(len(self._queue), self.sim.now)
             self._grant(event, waited=self.sim.now - enqueued_at)
 
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending :meth:`request`.
+
+        A requester that dies while waiting (e.g. a transaction aborted
+        as a deadlock victim) must cancel its request: otherwise a later
+        ``release`` grants the unit to the dead event and the unit leaks
+        forever.  If the grant already happened, the unit is returned.
+        """
+        if event.triggered:
+            self.release()
+            return
+        for index, (queued, _enqueued_at) in enumerate(self._queue):
+            if queued is event:
+                del self._queue[index]
+                self.queue_stat.update(len(self._queue), self.sim.now)
+                return
+        raise ValueError(f"cancel() of unknown request on {self.name!r}")
+
     def acquire(self, duration: float) -> Generator[Event, Any, None]:
-        """Request a unit, hold it for ``duration``, release it."""
-        yield self.request()
+        """Request a unit, hold it for ``duration``, release it.
+
+        If an exception is thrown into the generator while it waits for
+        the grant, the request is cancelled so the unit cannot leak.
+        """
+        request = self.request()
+        try:
+            yield request
+        except BaseException:
+            self.cancel(request)
+            raise
         try:
             yield self.sim.timeout(duration)
         finally:
             self.release()
+
+    def busy_time(self, now: Optional[float] = None) -> float:
+        """Accumulated busy server-seconds since the last reset."""
+        now = self.sim.now if now is None else now
+        return self.busy_stat.integral(now)
 
     def utilization(self, now: Optional[float] = None) -> float:
         """Time-average fraction of units busy since the last reset."""

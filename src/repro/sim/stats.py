@@ -49,15 +49,15 @@ class Tally:
     percentiles can be computed; otherwise only the moments are kept.
     """
 
-    __slots__ = ("name", "count", "_mean", "_m2", "min", "max", "_samples")
+    __slots__ = ("name", "count", "_mean", "_m2", "_min", "_max", "_samples")
 
     def __init__(self, name: str = "", keep_samples: bool = False):
         self.name = name
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._min = math.inf
+        self._max = -math.inf
         self._samples: Optional[List[float]] = [] if keep_samples else None
 
     def record(self, value: float) -> None:
@@ -65,16 +65,31 @@ class Tally:
         delta = value - self._mean
         self._mean += delta / self.count
         self._m2 += delta * (value - self._mean)
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
         if self._samples is not None:
             self._samples.append(value)
 
     @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observation, or None for an empty tally.
+
+        None (JSON ``null``) rather than ``inf``: ``json.dump`` renders
+        ``inf`` as the non-standard ``Infinity`` token, which strict
+        JSON parsers reject.
+        """
+        return self._min if self.count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observation, or None for an empty tally."""
+        return self._max if self.count else None
 
     @property
     def variance(self) -> float:
@@ -104,12 +119,22 @@ class Tally:
         # neighbours (the symmetric form can exceed them by one ulp).
         return data[lower] + frac * (data[lower + 1] - data[lower])
 
+    def summary(self) -> Dict[str, Optional[float]]:
+        """JSON-safe summary dict (no ``inf`` even when empty)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "max": self.max,
+        }
+
     def reset(self) -> None:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._min = math.inf
+        self._max = -math.inf
         if self._samples is not None:
             self._samples = []
 
@@ -154,8 +179,11 @@ class TimeWeighted:
         elapsed = now - self._start_time
         if elapsed <= 0:
             return self._value
-        area = self._area + self._value * (now - self._last_time)
-        return area / elapsed
+        return self.integral(now) / elapsed
+
+    def integral(self, now: float) -> float:
+        """Area under the curve since the last reset (value x seconds)."""
+        return self._area + self._value * (now - self._last_time)
 
     def reset(self, now: float) -> None:
         """Discard history; the current value is kept as the new initial."""

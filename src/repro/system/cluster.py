@@ -24,6 +24,7 @@ from repro.devices.network import Network
 from repro.devices.storage import StorageDirectory
 from repro.node.node import Node
 from repro.node.transaction_manager import TransactionManager
+from repro.obs.recorder import NULL_RECORDER, PhaseRecorder
 from repro.routing.affinity import AffinityRouter
 from repro.routing.random_router import RandomRouter
 from repro.sim.engine import Simulator
@@ -45,6 +46,12 @@ class Cluster:
         self.streams = StreamRegistry(config.random_seed)
         self.ledger = VersionLedger()
         self.detector = DeadlockDetector()
+        if config.trace_spans:
+            self.recorder = PhaseRecorder(self.sim, keep_spans=True)
+        elif config.collect_breakdown:
+            self.recorder = PhaseRecorder(self.sim)
+        else:
+            self.recorder = NULL_RECORDER
         self.network = Network(self.sim, config.network_bandwidth)
         self.gem = GemDevice(
             self.sim,
@@ -229,6 +236,36 @@ class Cluster:
         self.detector.deadlocks_detected = 0
         self.detector.victims.clear()
         self.source.generated = 0
+        self.recorder.reset()
+
+    # -- introspection ------------------------------------------------------------
+
+    def device_channels(self):
+        """Monitorable devices as ``(name, busy_time_fn, capacity)``.
+
+        ``busy_time_fn(now)`` returns accumulated busy server-seconds;
+        windowed utilization is its delta over an interval divided by
+        ``capacity * interval`` (used by the TimeSeriesMonitor).
+        """
+        channels = [
+            (f"cpu{node.node_id}", node.cpu.busy_time, self.config.cpus_per_node)
+            for node in self.nodes
+        ]
+        channels.append(("gem", self.gem.busy_time, self.config.gem_servers))
+        channels.append(("network", self.network.busy_time, 1))
+        for name in sorted(self.disk_arrays):
+            array = self.disk_arrays[name]
+            channels.append((f"disk.{name}", array.busy_time, len(array.disks)))
+        for index, array in enumerate(self.log_disks):
+            channels.append((f"log{index}", array.busy_time, len(array.disks)))
+        return channels
+
+    def blocked_transactions(self) -> int:
+        """Transactions currently blocked in lock waits, cluster-wide."""
+        protocol = self.protocol
+        if isinstance(protocol, PrimaryCopyProtocol):
+            return sum(table.num_blocked() for table in protocol.tables)
+        return protocol.glt.num_blocked()
 
     # -- results -----------------------------------------------------------------
 
@@ -325,4 +362,7 @@ class Cluster:
             messages_long_per_txn=sum(n.comm.sent_long for n in self.nodes) * per_txn,
             events_processed=self.sim.events_processed,
             generated=self.source.generated,
+            breakdown=(
+                self.recorder.breakdown() if self.recorder.enabled else None
+            ),
         )

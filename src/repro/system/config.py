@@ -248,6 +248,13 @@ class SystemConfig:
     warmup_time: float = 3.0
     #: Simulated measurement period.
     measure_time: float = 12.0
+    #: Collect the per-phase response-time breakdown (repro.obs).  The
+    #: recorder is observation-only, so simulated metrics are identical
+    #: with or without it.
+    collect_breakdown: bool = False
+    #: Additionally retain every span for Chrome-trace export (implies
+    #: breakdown collection; memory grows with run length).
+    trace_spans: bool = False
 
     def __post_init__(self) -> None:
         self.coupling = Coupling(self.coupling)

@@ -16,7 +16,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system.cluster import Cluster
@@ -27,7 +27,9 @@ __all__ = ["TimeSeriesMonitor"]
 class TimeSeriesMonitor:
     """Periodic sampler attached to a cluster."""
 
-    def __init__(self, cluster: "Cluster", interval: float = 1.0):
+    def __init__(
+        self, cluster: "Cluster", interval: float = 1.0, devices: bool = False
+    ):
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.cluster = cluster
@@ -36,6 +38,15 @@ class TimeSeriesMonitor:
         self._last_completed = 0
         self._last_rt_sum = 0.0
         self._last_cpu_busy = [0.0] * len(cluster.nodes)
+        #: With ``devices=True`` every sample additionally carries
+        #: windowed per-device utilizations (``util.<name>`` columns,
+        #: busy-time delta of the window over capacity x interval) and
+        #: the number of lock-blocked transactions.
+        self._channels = cluster.device_channels() if devices else []
+        now = cluster.sim.now
+        self._last_busy = {
+            name: busy_fn(now) for name, busy_fn, _cap in self._channels
+        }
         cluster.sim.process(self._run(), name="monitor")
 
     def _run(self):
@@ -56,6 +67,9 @@ class TimeSeriesMonitor:
         """
         self._last_completed = 0
         self._last_rt_sum = 0.0
+        now = self.cluster.sim.now
+        for name, busy_fn, _cap in self._channels:
+            self._last_busy[name] = busy_fn(now)
 
     def _sample(self) -> Dict[str, Any]:
         cluster = self.cluster
@@ -72,7 +86,7 @@ class TimeSeriesMonitor:
         self._last_completed = completed
         self._last_rt_sum = rt_sum
         cpu_utils = [n.cpu.utilization() for n in cluster.nodes]
-        return {
+        row = {
             "time": now,
             "completed_total": completed,
             "throughput": window_completed / self.interval,
@@ -87,6 +101,16 @@ class TimeSeriesMonitor:
             "gem_utilization": cluster.gem.utilization(),
             "network_utilization": cluster.network.utilization(),
         }
+        if self._channels:
+            for name, busy_fn, capacity in self._channels:
+                busy = busy_fn(now)
+                # A reset without notify_reset makes the delta negative
+                # (totals restarted); clamp instead of reporting garbage.
+                delta = max(0.0, busy - self._last_busy[name])
+                self._last_busy[name] = busy
+                row[f"util.{name}"] = delta / (capacity * self.interval)
+            row["blocked_txns"] = cluster.blocked_transactions()
+        return row
 
     # -- export ----------------------------------------------------------
 

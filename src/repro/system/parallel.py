@@ -33,7 +33,7 @@ import math
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.sim.rng import replicate_seed
 from repro.system.config import SystemConfig
@@ -52,7 +52,7 @@ __all__ = [
 #: Version tag of the simulation semantics.  Bump whenever a change
 #: alters what a given ``(config, seed)`` simulates, so stale cache
 #: entries are never reused across semantic changes.
-CODE_VERSION = "2026.08-1"
+CODE_VERSION = "2026.08-2"
 
 #: Default location of the result cache, relative to the working
 #: directory (see results/README.md for the layout).

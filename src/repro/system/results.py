@@ -77,6 +77,12 @@ class RunResult:
     #: from determinism comparisons and cache keys).
     wall_clock_seconds: float = 0.0
 
+    # -- response-time decomposition ------------------------------------------
+    #: Mean seconds per phase per committed transaction (repro.obs
+    #: phase names); None when breakdown collection was off.  The
+    #: components sum to ``mean_response_time`` (residual in "other").
+    breakdown: Optional[Dict[str, float]] = None
+
     @property
     def throughput_per_node(self) -> float:
         return self.throughput_total / self.num_nodes if self.num_nodes else 0.0
@@ -97,6 +103,15 @@ class RunResult:
     @property
     def messages_per_txn(self) -> float:
         return self.messages_short_per_txn + self.messages_long_per_txn
+
+    @property
+    def response_breakdown(self):
+        """The breakdown as a ResponseTimeBreakdown, or None."""
+        if self.breakdown is None:
+            return None
+        from repro.obs.breakdown import ResponseTimeBreakdown
+
+        return ResponseTimeBreakdown(dict(self.breakdown))
 
     def label(self) -> str:
         return (

@@ -9,7 +9,7 @@ transaction manager.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import Stream

@@ -16,7 +16,6 @@ can occur.  All four record accesses are updates.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.db.debitcredit import DebitCreditLayout
 from repro.node.transaction_manager import HISTORY_APPEND

@@ -30,7 +30,7 @@ Example::
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.db.pages import PageId
 from repro.db.schema import Database, Partition

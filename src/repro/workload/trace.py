@@ -20,8 +20,7 @@ comma-separated list of ``file:page:mode`` references.
 from __future__ import annotations
 
 import io
-import os
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 __all__ = ["TraceReference", "TraceTransaction", "Trace"]
 

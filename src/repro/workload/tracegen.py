@@ -28,7 +28,6 @@ Construction:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Sequence, Tuple
 
 from repro.sim.rng import Stream, zipf_weights

@@ -9,7 +9,7 @@ transactions cyclically as fresh :class:`Transaction` objects.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.db.pages import PageId
 from repro.db.schema import Database, Partition

@@ -1,7 +1,5 @@
 """Unit tests for global deadlock detection."""
 
-import pytest
-
 from repro.cc.deadlock import DeadlockDetector
 from repro.node.lock_table import LockMode, LockTable
 
@@ -101,3 +99,55 @@ class TestCycleDetection:
         detector.register_block(2, table, noop)
         detector.clear(2)
         assert not detector.is_blocked(2)
+
+
+class TestSideCycles:
+    """Cycles the DFS finds that do not contain the registering txn."""
+
+    def test_side_cycle_resolved_but_not_reported_to_caller(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        pb, pcd = (0, 1), (0, 2)
+
+        def abort(txn):
+            # Realistic abort: withdraw the queued request, release all
+            # held locks (which may promote waiters).
+            def cb():
+                aborted.append(txn)
+                page = table.blocked_page(txn)
+                if page is not None:
+                    table.cancel(txn, page)
+                for held in table.held_pages(txn):
+                    table.release(txn, held)
+            return cb
+
+        def granted(txn):
+            return lambda: detector.clear(txn)
+
+        # 1 holds X on pb; 2 and 3 share pcd; then 2 and 3 queue for pb
+        # and finally 1 queues for pcd -- creating TWO cycles through 1:
+        # 1<->2 and 1<->3.
+        table.request(1, pb, X, noop)
+        table.request(2, pcd, S, noop)
+        table.request(3, pcd, S, noop)
+        table.request(2, pb, X, granted(2))
+        assert detector.register_block(2, table, abort(2)) is None
+        table.request(3, pb, X, granted(3))
+        assert detector.register_block(3, table, abort(3)) is None
+        table.request(1, pcd, X, granted(1))
+        victim = detector.register_block(1, table, abort(1))
+        # 1's own registration must resolve BOTH of its cycles, not just
+        # the first one found (pre-fix only [1, 2] was broken).
+        assert victim == 2
+        assert aborted == [2, 3]
+        assert detector.deadlocks_detected == 2
+        assert not detector.is_blocked(1)  # promoted on pcd after 3's abort
+        # A later blocker behind the surviving holder sees no cycle at
+        # all.  Pre-fix the leftover 1<->3 cycle was found from here via
+        # the sub-path branch and its victim (3) was returned to txn 4
+        # as if *4's* wait had been broken.
+        table.request(4, pb, X, granted(4))
+        assert detector.register_block(4, table, abort(4)) is None
+        assert detector.is_blocked(4)
+        assert aborted == [2, 3]

@@ -1,7 +1,5 @@
 """Unit tests for the GEM lock-authorization refinement (section 2)."""
 
-import pytest
-
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
 from repro.workload.transaction import Transaction

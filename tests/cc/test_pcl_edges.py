@@ -1,8 +1,5 @@
 """Additional PCL edge cases."""
 
-import pytest
-
-from repro.node.lock_table import LockMode
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
 from repro.workload.transaction import PageAccess, Transaction

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cc.base import PageSource
 from repro.errors import TransactionAborted
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig

@@ -5,7 +5,7 @@ import pytest
 from repro.db.pages import VersionLedger
 from repro.devices.disk import DiskArray
 from repro.devices.disk_cache import DiskCache
-from repro.sim import Simulator, StreamRegistry
+from repro.sim import Simulator
 
 
 class _ConstantStream:

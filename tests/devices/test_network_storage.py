@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.db.pages import CoherencyError, VersionLedger
+from repro.db.pages import VersionLedger
 from repro.devices.disk import DiskArray
 from repro.devices.gem import GemDevice
 from repro.devices.network import Network

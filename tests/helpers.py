@@ -12,6 +12,7 @@ from repro.devices.disk import DiskArray
 from repro.devices.storage import StorageDirectory
 from repro.node.buffer_manager import BufferManager
 from repro.node.cpu import CpuPool
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim import Simulator, StreamRegistry
 from repro.workload.transaction import PageAccess, Transaction
 
@@ -76,6 +77,7 @@ class MiniNode:
         self.storage.assign(1, self.seq_disks)
         self.storage.assign_log_disks([self.log_disk])
         self.protocol = RecordingProtocol()
+        self.recorder = NULL_RECORDER
         self.buffer = BufferManager(self, buffer_pages, self.ledger)
 
     def run(self, process, until: Optional[float] = None):

@@ -1,7 +1,5 @@
 """Unit tests for the transaction manager (lifecycle, lock reuse, MPL)."""
 
-import pytest
-
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
 from repro.workload.transaction import PageAccess, Transaction

@@ -1,0 +1,36 @@
+"""Unit tests for the breakdown value object and formatting."""
+
+import pytest
+
+from repro.obs import ResponseTimeBreakdown, format_breakdown, phases
+
+
+class TestResponseTimeBreakdown:
+    def test_total_and_share(self):
+        b = ResponseTimeBreakdown({phases.CPU: 0.03, phases.IO: 0.01})
+        assert b.total == pytest.approx(0.04)
+        assert b.get(phases.CPU) == 0.03
+        assert b.get(phases.COMM) == 0.0
+        assert b.share(phases.CPU) == pytest.approx(0.75)
+
+    def test_empty_share_is_zero(self):
+        assert ResponseTimeBreakdown({}).share(phases.CPU) == 0.0
+
+    def test_table_lists_all_phases(self):
+        b = ResponseTimeBreakdown({phases.CPU: 0.03})
+        table = b.table()
+        for phase in phases.PHASES:
+            assert phase in table
+        assert "total" in table
+        assert "30.000" in table  # 0.03 s in ms
+
+
+class TestFormatBreakdown:
+    def test_none_and_empty(self):
+        assert format_breakdown(None) == "-"
+        assert format_breakdown({}) == "-"
+        assert format_breakdown({phases.CPU: 0.0}) == "-"
+
+    def test_skips_zero_phases(self):
+        text = format_breakdown({phases.CPU: 0.002, phases.IO: 0.0})
+        assert text == "cpu=2.00ms"

@@ -1,0 +1,70 @@
+"""Unit tests for the Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.obs import PhaseRecorder, chrome_trace_events, export_chrome_trace, phases
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeMonitor:
+    def __init__(self, samples):
+        self.samples = samples
+
+
+def make_recorder():
+    sim = FakeSim()
+    rec = PhaseRecorder(sim, keep_spans=True)
+    rec.txn_begin(7, 1, sim.now)
+    sim.now = 0.001
+    with rec.span(7, phases.CPU):
+        sim.now = 0.004
+    sim.now = 0.005
+    rec.txn_end(7, sim.now, committed=True)
+    return rec
+
+
+class TestChromeTraceEvents:
+    def test_txn_and_span_complete_events(self):
+        events = chrome_trace_events(make_recorder())
+        txn = next(e for e in events if e["name"] == "txn")
+        assert txn["ph"] == "X"
+        assert txn["ts"] == pytest.approx(0.0)
+        assert txn["dur"] == pytest.approx(5000.0)  # 5 ms in us
+        assert (txn["pid"], txn["tid"]) == (1, 7)
+        span = next(e for e in events if e["cat"] == "phase")
+        assert span["name"] == phases.CPU
+        assert span["ts"] == pytest.approx(1000.0)
+        assert span["dur"] == pytest.approx(3000.0)
+
+    def test_node_metadata_event(self):
+        events = chrome_trace_events(make_recorder())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["pid"] for m in meta] == [1]
+        assert meta[0]["args"]["name"] == "node 1"
+
+    def test_counter_events_from_monitor(self):
+        monitor = FakeMonitor([
+            {"time": 0.5, "throughput": 120.0, "util.cpu0": 0.8, "util.disk.DATA": 0.4},
+        ])
+        events = chrome_trace_events(make_recorder(), monitor)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {c["name"] for c in counters} == {"cpu0", "disk.DATA"}
+        assert all(c["ts"] == pytest.approx(0.5e6) for c in counters)
+
+    def test_export_is_strict_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(make_recorder(), str(path))
+
+        def reject(token):
+            raise AssertionError(f"non-standard JSON constant {token!r}")
+
+        with open(path) as fh:
+            document = json.load(fh, parse_constant=reject)
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 3  # txn + span + metadata

@@ -1,0 +1,118 @@
+"""End-to-end checks of the tracing layer on real simulations.
+
+The key invariant: the breakdown components partition the measured
+mean response time (the residual is explicit in ``other``), so their
+sum must match ``mean_response_time`` within 1 % on real runs.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import fig41
+from repro.obs import run_traced
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+
+def fig41_fast_point(**overrides):
+    config = fig41.base_config().replace(
+        num_nodes=2,
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.5,
+        measure_time=1.5,
+    )
+    return config.replace(**overrides) if overrides else config
+
+
+def fig45_fast_point():
+    return SystemConfig(
+        num_nodes=2,
+        coupling="pcl",
+        routing="random",
+        update_strategy="noforce",
+        buffer_pages_per_node=200,
+        warmup_time=0.5,
+        measure_time=1.5,
+        collect_breakdown=True,
+    )
+
+
+class TestBreakdownSumsToMeanResponseTime:
+    def test_fig41_fast_point(self):
+        result = run_simulation(fig41_fast_point())
+        assert result.breakdown is not None
+        assert result.completed > 0
+        total = sum(result.breakdown.values())
+        assert total == pytest.approx(result.mean_response_time, rel=0.01)
+        # The workload actually exercises the main phases.
+        assert result.breakdown["cpu"] > 0
+        assert result.breakdown["io"] > 0
+        assert result.breakdown["gem"] > 0
+
+    def test_fig45_fast_point(self):
+        result = run_simulation(fig45_fast_point())
+        assert result.breakdown is not None
+        total = sum(result.breakdown.values())
+        assert total == pytest.approx(result.mean_response_time, rel=0.01)
+        # PCL with random routing pays message delays.
+        assert result.breakdown["comm"] > 0
+
+    def test_response_breakdown_property(self):
+        result = run_simulation(fig41_fast_point())
+        view = result.response_breakdown
+        assert view.total == pytest.approx(result.mean_response_time, rel=0.01)
+        assert view.table()
+
+
+class TestObservationOnly:
+    def test_breakdown_does_not_perturb_metrics(self):
+        # The recorder only reads the clock; every simulated metric must
+        # be bit-identical with collection on and off.
+        with_obs = run_simulation(fig41_fast_point()).deterministic_dict()
+        without = run_simulation(
+            fig41_fast_point(collect_breakdown=False)
+        ).deterministic_dict()
+        assert with_obs.pop("breakdown") is not None
+        assert without.pop("breakdown") is None
+        assert with_obs == without
+
+
+class TestRunTraced:
+    def test_exports_valid_trace_and_device_series(self, tmp_path):
+        config = fig41_fast_point(warmup_time=0.3, measure_time=0.7)
+        path = tmp_path / "run.trace.json"
+        result, monitor = run_traced(config, str(path))
+
+        def reject(token):
+            raise AssertionError(f"non-standard JSON constant {token!r}")
+
+        with open(path) as fh:
+            document = json.load(fh, parse_constant=reject)
+        events = document["traceEvents"]
+        txn_events = [
+            e for e in events if e.get("ph") == "X" and e.get("name") == "txn"
+        ]
+        # At least one complete transaction span per committed txn (the
+        # trace also covers warmup completions).
+        assert result.completed > 0
+        assert len(txn_events) >= result.completed
+        assert all(e["dur"] > 0 for e in txn_events)
+        assert any(e.get("ph") == "C" for e in events)
+        # Device utilization series: one util.* column per channel.
+        csv = monitor.to_csv()
+        header = csv.splitlines()[0].split(",")
+        assert "util.cpu0" in header
+        assert "util.gem" in header
+        assert "util.network" in header
+        assert "blocked_txns" in header
+        # Tracing must not change the simulation outcome either.  The
+        # monitor's sampling timeouts add scheduler events, so only
+        # events_processed may differ.
+        plain = run_simulation(config)
+        traced_dict = result.deterministic_dict()
+        plain_dict = plain.deterministic_dict()
+        for key in ("breakdown", "events_processed"):
+            traced_dict.pop(key), plain_dict.pop(key)
+        assert traced_dict == plain_dict

@@ -1,6 +1,6 @@
 """Property-based tests for the lock table's 2PL invariants."""
 
-from hypothesis import given, settings
+from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 

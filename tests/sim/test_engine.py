@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    Event,
-    SimulationError,
-    Simulator,
-    Timeout,
-)
+from repro.sim import SimulationError, Simulator
 
 
 @pytest.fixture

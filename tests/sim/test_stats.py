@@ -1,5 +1,6 @@
 """Unit tests for statistics collectors."""
 
+import json
 import math
 
 import pytest
@@ -133,3 +134,57 @@ class TestStatsRegistry:
         assert reg.counter("a").count == 0
         assert reg.tally("b").count == 0
         assert reg.timeweighted("c").time_average(now=3.0) == pytest.approx(5.0)
+
+
+class TestTallyJsonSafety:
+    """Regression tests: empty tallies must serialize to valid JSON."""
+
+    def test_empty_tally_min_max_are_none(self):
+        t = Tally("rt")
+        assert t.min is None
+        assert t.max is None
+
+    def test_empty_tally_summary_is_strict_json(self):
+        # Pre-fix min/max were +/-inf, which json.dumps renders as the
+        # non-standard Infinity token strict parsers reject.
+        t = Tally("rt")
+        text = json.dumps(t.summary())
+
+        def reject(token):
+            raise AssertionError(f"non-standard JSON constant {token!r}")
+
+        decoded = json.loads(text, parse_constant=reject)
+        assert decoded == {
+            "count": 0, "mean": 0.0, "stdev": 0.0, "min": None, "max": None,
+        }
+
+    def test_summary_of_populated_tally(self):
+        t = Tally("rt")
+        for value in (2.0, 6.0, 4.0):
+            t.record(value)
+        summary = t.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["min"] == 2.0
+        assert summary["max"] == 6.0
+
+    def test_reset_returns_to_none(self):
+        t = Tally("rt")
+        t.record(1.0)
+        t.reset()
+        assert t.min is None and t.max is None
+
+
+class TestTimeWeightedIntegral:
+    def test_integral_includes_open_segment(self):
+        tw = TimeWeighted("busy")
+        tw.update(2.0, 1.0)   # 0 for [0,1)
+        tw.update(0.0, 3.0)   # 2 for [1,3)
+        assert tw.integral(3.0) == pytest.approx(4.0)
+        tw.update(1.0, 4.0)
+        assert tw.integral(6.0) == pytest.approx(6.0)  # + 1 for [4,6)
+
+    def test_reset_clears_area(self):
+        tw = TimeWeighted("busy", initial=1.0)
+        tw.reset(5.0)
+        assert tw.integral(7.0) == pytest.approx(2.0)

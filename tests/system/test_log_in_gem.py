@@ -1,7 +1,5 @@
 """Tests for the GEM-resident log (section 2 usage form)."""
 
-import pytest
-
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig
 from repro.system.runner import run_simulation

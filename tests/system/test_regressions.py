@@ -3,8 +3,6 @@ during development.  Each test reconstructs the triggering scenario at
 system level; the ledger turns any regression into a CoherencyError.
 """
 
-import pytest
-
 from repro.system.cluster import Cluster
 from repro.system.config import SystemConfig, TraceWorkloadConfig
 from repro.system.runner import run_simulation

@@ -95,3 +95,32 @@ class TestThroughputSearch:
             b = find_throughput_at_utilization(config, runner=pool, **kwargs)
         assert a.deterministic_dict() == b.deterministic_dict()
         assert a.cpu_utilization_max == pytest.approx(0.80, abs=0.08)
+
+
+class TestCollapsedBracketBothSides:
+    def test_step_response_returns_best_without_raising(self, monkeypatch):
+        # A sharp utilization step inside the bounds: the bisection
+        # collapses onto the step with probes on BOTH sides of the
+        # target, none within tolerance.  That is a resolution limit,
+        # not an unreachable target, so the closest result is returned
+        # instead of raising UtilizationTargetError.
+        class FakeResult:
+            def __init__(self, rate):
+                self.arrival_rate_per_node = rate
+                self.cpu_utilization_max = 0.5 if rate < 200.0 else 0.95
+
+        calls = []
+
+        def fake_run(config):
+            calls.append(config.arrival_rate_per_node)
+            return FakeResult(config.arrival_rate_per_node)
+
+        monkeypatch.setattr("repro.system.runner.run_simulation", fake_run)
+        result = find_throughput_at_utilization(
+            small_config(),
+            target_utilization=0.80,
+            tolerance=0.02,
+            max_iterations=12,
+        )
+        assert result.cpu_utilization_max == 0.95
+        assert len(calls) == 12  # never converged, never raised
