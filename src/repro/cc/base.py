@@ -109,3 +109,41 @@ class CCProtocol:
         go to storage; PCL needs no action (the GLA stays responsible).
         """
         raise NotImplementedError
+
+    # -- fault injection hooks -----------------------------------------
+    #
+    # Called by repro.faults.FaultManager.  The base implementations do
+    # nothing, so protocols without special failure handling keep
+    # working (the generic teardown in the manager is still applied).
+
+    def lock_tables(self):
+        """All lock tables the protocol maintains (crash cleanup scans
+        them for queued requests of transactions killed by a crash)."""
+        return ()
+
+    def crash_node(self, faults, record) -> None:
+        """Synchronous protocol bookkeeping at the instant of a crash.
+
+        Runs inside the crash event, before any other process can
+        observe the failure.  Use it to fence off state that must not
+        be served during recovery and to extend ``record.lost`` with
+        pages whose only current copy died with the node.
+        """
+
+    def recover(self, faults, record) -> Generator[Event, Any, None]:
+        """Replay the regime's failover protocol (takes simulated time).
+
+        When this generator finishes, surviving nodes must be able to
+        process the full workload again.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def reintegrate(self, faults, record) -> Generator[Event, Any, None]:
+        """Bring the restarted node back into the protocol.
+
+        Runs after the node has been marked up again and has paid its
+        restart CPU cost.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator

@@ -71,6 +71,20 @@ class DeadlockDetector:
         """Forget ``txn`` (granted, cancelled or aborted)."""
         self._blocked.pop(txn, None)
 
+    def abort_blocked(self, txn: int) -> bool:
+        """Invoke ``txn``'s abort callback if it is blocked (fault path).
+
+        Used when a node crash kills a transaction that is queued for a
+        lock: the callback cancels the table registration and fails the
+        waiter event, so GLA-side handler processes acting for the dead
+        transaction unwind instead of waiting forever.
+        """
+        entry = self._blocked.pop(txn, None)
+        if entry is None:
+            return False
+        entry[1]()
+        return True
+
     def is_blocked(self, txn: int) -> bool:
         return txn in self._blocked
 

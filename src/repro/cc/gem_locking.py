@@ -153,9 +153,16 @@ class GemLockingProtocol(CCProtocol):
             node.gem_auth.add(page)
         owner = entry.owner
         if self.config.noforce and owner is not None and owner != node_id:
-            return LockGrant(
-                entry.seqno, source=PageSource.OWNER, owner_node=owner, local=True
-            )
+            faults = self.cluster.faults
+            if faults is None or not faults.is_down(owner):
+                return LockGrant(
+                    entry.seqno,
+                    source=PageSource.OWNER,
+                    owner_node=owner,
+                    local=True,
+                )
+            # The owner crashed and its buffer is gone; read permanent
+            # storage instead (gated behind REDO if the page was lost).
         return LockGrant(entry.seqno, source=PageSource.STORAGE, local=True)
 
     # -- NOFORCE page transfers ---------------------------------------------
@@ -173,13 +180,21 @@ class GemLockingProtocol(CCProtocol):
             else:
                 node = self.cluster.nodes[txn.node]
                 reply = self.sim.event()
+                faults = self.cluster.faults
+                if faults is not None:
+                    faults.watch(grant.owner_node, reply)
                 yield from node.comm.send(
                     grant.owner_node,
                     "page_req",
                     {"page": page, "reply": reply, "requester": txn.node},
                 )
                 payload = yield reply
-                version = payload.get("version")
+                if faults is not None:
+                    faults.unwatch(grant.owner_node, reply)
+                if payload.get("crashed"):
+                    version = None
+                else:
+                    version = payload.get("version")
         if version is None:
             self.page_requests_failed += 1
         else:
@@ -197,12 +212,19 @@ class GemLockingProtocol(CCProtocol):
         """
         self.authorization_revocations += 1
         ack = self.sim.event()
+        faults = self.cluster.faults
+        if faults is not None:
+            # A crash of the holder clears its authorization in
+            # crash_node; answer the ack so the requester proceeds.
+            faults.watch(holder, ack)
         yield from node.comm.send(
             holder,
             "glt_revoke",
             {"page": page, "ack": ack, "requester": node.node_id},
         )
         yield ack
+        if faults is not None:
+            faults.unwatch(holder, ack)
         yield from self._entry_ops(node.node_id, 1)
 
     def _handle_authorization_revoke(self, node: "Node", payload: dict):
@@ -317,6 +339,70 @@ class GemLockingProtocol(CCProtocol):
         yield from self._entry_ops(node_id, 2)
         if entry.owner == node_id and entry.seqno == version:
             entry.owner = None
+
+    # -- fault injection -----------------------------------------------------
+
+    def lock_tables(self):
+        return (self.glt,)
+
+    def crash_node(self, faults, record) -> None:
+        """Synchronous teardown: the node's lock authorizations die.
+
+        The GLT itself lives in non-volatile GEM and survives -- that
+        is the close-coupling availability advantage the paper argues
+        (section 5): no lock state is lost with a node.
+        """
+        node = self.cluster.nodes[record.node]
+        if self.config.gem_lock_authorizations:
+            node.gem_auth.clear()
+            for entry in self.glt._entries.values():
+                entry.auth_nodes.discard(record.node)
+
+    def recover(self, faults, record) -> Generator[Event, Any, None]:
+        """Failover with a surviving GLT: release the dead node's locks.
+
+        The coordinator scans the (intact) GLT for locks held by the
+        crashed node's transactions, makes each entry's sequence number
+        consistent with the ledger, and releases -- plain entry
+        accesses, no lock-state reconstruction and no inter-node
+        messages.  Then it REDOes the lost pages from the dead node's
+        log.
+        """
+        coord = faults.coordinator()
+        coord_node = self.cluster.nodes[coord]
+        ledger = self.cluster.ledger
+        for txn in record.killed:
+            for page in sorted(txn.held_locks):
+                if self.glt.holds(txn.txn_id, page) is None:
+                    continue
+                yield from self._entry_ops(coord, 2)
+                yield from coord_node.cpu.consume(
+                    faults.config.recovery_instructions_per_lock
+                )
+                entry = self.glt.entry(page)
+                entry.seqno = max(entry.seqno, ledger.committed_version(page))
+                granted = self.glt.release(txn.txn_id, page)
+                if granted:
+                    yield from self._entry_ops(coord, len(granted))
+        # Ownership entries pointing at the dead buffer are void.  For
+        # non-lost pages the permanent copy is current, so clear them
+        # now; lost pages keep readers fenced until REDO restores them.
+        for page in sorted(
+            p for p, e in self.glt._entries.items() if e.owner == record.node
+        ):
+            if page in record.lost:
+                continue
+            yield from self._entry_ops(coord, 1)
+            self.glt._entries[page].owner = None
+        yield from faults.redo_pages(record, coord)
+        for entry in self.glt._entries.values():
+            if entry.owner == record.node:
+                entry.owner = None
+
+    # reintegrate: the base no-op is correct -- the restarted node finds
+    # its lock state in GEM; only the restart CPU (charged by the
+    # manager) is needed.  This is the measurable reintegration gap
+    # versus PCL's GLA failback.
 
     # -- statistics -------------------------------------------------------------
 

@@ -51,6 +51,11 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["PrimaryCopyProtocol"]
 
 
+def _noop() -> None:
+    """Grant callback for lock-table reconstruction: the registrations
+    are already-granted locks, so nobody waits on the grant."""
+
+
 class PrimaryCopyProtocol(CCProtocol):
     """Primary copy locking with integrated coherency control."""
 
@@ -91,31 +96,50 @@ class PrimaryCopyProtocol(CCProtocol):
         cached_version: Optional[int],
     ) -> Generator[Event, Any, LockGrant]:
         node_id = txn.node
-        gla = self.gla_map(page)
+        home = self.gla_map(page)
         mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
-        if gla == node_id:
-            grant = yield from self._acquire_local(txn, page, mode)
-            return grant
-        node = self.cluster.nodes[node_id]
-        if (
-            not write
-            and self.config.pcl_read_optimization
-            and page in node.auth_cache
-        ):
-            grant = yield from self._acquire_authorized_read(txn, page, gla)
+        faults = self.cluster.faults
+        while True:
+            # The partition's lock authority may be hosted elsewhere
+            # during failover; resolve_gla also waits out the window in
+            # which the partition is fenced for reassignment.
+            if faults is None:
+                host = home
+            else:
+                host = yield from faults.resolve_gla(home)
+            if host == node_id:
+                grant = yield from self._acquire_local(txn, page, mode, home)
+                return grant
+            node = self.cluster.nodes[node_id]
+            if (
+                not write
+                and self.config.pcl_read_optimization
+                and page in node.auth_cache
+            ):
+                grant = yield from self._acquire_authorized_read(txn, page, home)
+                if grant is not None:
+                    return grant
+            grant = yield from self._acquire_remote(
+                txn, page, mode, home, host, cached_version
+            )
             if grant is not None:
                 return grant
-        grant = yield from self._acquire_remote(txn, page, mode, gla, cached_version)
-        return grant
+            # The GLA host crashed before answering: re-resolve (waits
+            # for the reassignment) and retry against the new host.
 
     def _acquire_local(
-        self, txn: Transaction, page: PageId, mode: LockMode
+        self, txn: Transaction, page: PageId, mode: LockMode, home: int
     ) -> Generator[Event, Any, LockGrant]:
-        """Lock request against the node's own GLA partition."""
+        """Lock request against a GLA partition hosted on this node.
+
+        Normally ``home == txn.node``; during failover this node may
+        also host a crashed node's partition (``home`` names the
+        partition, whose table stays indexed by its home node).
+        """
         self.local_lock_requests += 1
         txn.local_lock_requests += 1
         node = self.cluster.nodes[txn.node]
-        table = self.tables[txn.node]
+        table = self.tables[home]
         yield from node.cpu.consume(self.config.instructions_per_lock_op)
         yield from self._table_request(txn.txn_id, table, page, mode)
         entry = table.entry(page)
@@ -128,7 +152,7 @@ class PrimaryCopyProtocol(CCProtocol):
         return LockGrant(entry.seqno, source=PageSource.STORAGE, local=True)
 
     def _acquire_authorized_read(
-        self, txn: Transaction, page: PageId, gla: int
+        self, txn: Transaction, page: PageId, home: int
     ) -> Generator[Event, Any, Optional[LockGrant]]:
         """Read lock processed locally under a read authorization.
 
@@ -137,7 +161,7 @@ class PrimaryCopyProtocol(CCProtocol):
         request is used instead).
         """
         node = self.cluster.nodes[txn.node]
-        table = self.tables[gla]
+        table = self.tables[home]
         already_held = table.holds(txn.txn_id, page) is not None
         yield from node.cpu.consume(self.config.instructions_per_lock_op)
         yield from self._table_request(txn.txn_id, table, page, LockMode.SHARED)
@@ -162,32 +186,45 @@ class PrimaryCopyProtocol(CCProtocol):
         txn: Transaction,
         page: PageId,
         mode: LockMode,
-        gla: int,
+        home: int,
+        host: int,
         cached_version: Optional[int],
-    ) -> Generator[Event, Any, LockGrant]:
-        """Lock request to a remote GLA node via message exchange."""
+    ) -> Generator[Event, Any, Optional[LockGrant]]:
+        """Lock request to a remote GLA host via message exchange.
+
+        Returns None when ``host`` crashed before answering (the caller
+        re-resolves the partition host and retries).
+        """
         self.remote_lock_requests += 1
         txn.remote_lock_requests += 1
         node = self.cluster.nodes[txn.node]
         started = self.sim.now
         reply = self.sim.event()
+        faults = self.cluster.faults
+        if faults is not None:
+            faults.watch(host, reply)
         # The whole round trip is message/comm delay from the
         # requester's point of view; the GLA-side lock wait (if any) is
         # re-attributed to LOCK_GLOBAL by the handler's inner span.
         with self.recorder.span(txn.txn_id, phases.COMM):
             yield from node.comm.send(
-                gla,
+                host,
                 "lock_req",
                 {
                     "txn_id": txn.txn_id,
                     "page": page,
                     "mode": mode,
+                    "home": home,
                     "cached_version": cached_version,
                     "requester": txn.node,
                     "reply": reply,
                 },
             )
             payload = yield reply
+        if faults is not None:
+            faults.unwatch(host, reply)
+            if payload.get("crashed"):
+                return None
         self.remote_grant_delay.record(self.sim.now - started)
         if payload.get("aborted"):
             raise TransactionAborted(txn.txn_id)
@@ -215,7 +252,8 @@ class PrimaryCopyProtocol(CCProtocol):
         mode: LockMode = payload["mode"]
         requester: int = payload["requester"]
         reply: Event = payload["reply"]
-        table = self.tables[node.node_id]
+        home = payload.get("home", node.node_id)
+        table = self.tables[home]
         yield from node.cpu.consume(self.config.instructions_per_lock_op)
         try:
             yield from self._table_request(
@@ -301,15 +339,23 @@ class PrimaryCopyProtocol(CCProtocol):
         targets = [n for n in entry.auth_nodes if n != requester]
         if not targets:
             return
+        faults = self.cluster.faults
         acks = []
         for target in targets:
             self.revocations += 1
             ack = self.sim.event()
+            if faults is not None:
+                # A crashing holder loses its authorization anyway; the
+                # sentinel stands in for its ack.
+                faults.watch(target, ack)
             yield from gla_node.comm.send(
                 target, "revoke", {"page": page, "ack": ack, "gla": gla_node.node_id}
             )
-            acks.append(ack)
-        yield self.sim.all_of(acks)
+            acks.append((target, ack))
+        yield self.sim.all_of([ack for _target, ack in acks])
+        if faults is not None:
+            for target, ack in acks:
+                faults.unwatch(target, ack)
         entry.auth_nodes.difference_update(targets)
 
     def _handle_revoke(self, node: "Node", payload: Dict[str, Any]):
@@ -329,21 +375,33 @@ class PrimaryCopyProtocol(CCProtocol):
 
     def _release(self, txn: Transaction, commit: bool) -> Generator[Event, Any, None]:
         node = self.cluster.nodes[txn.node]
-        remote_groups: Dict[int, List[Tuple[PageId, Optional[int]]]] = {}
+        faults = self.cluster.faults
+        # Resolve every partition's effective host FIRST (this may wait
+        # at failover gates), then apply the whole release set without
+        # yielding: a lock-table reconstruction snapshot therefore never
+        # observes a half-released transaction.
+        hosts: Dict[int, int] = {}
+        if faults is not None:
+            for page in txn.held_locks:
+                home = self.gla_map(page)
+                if home not in hosts:
+                    hosts[home] = yield from faults.resolve_gla(home)
+        remote_groups: Dict[Tuple[int, int], List[Tuple[PageId, Optional[int]]]] = {}
         for page in list(txn.held_locks):
             new_version = txn.modified.get(page) if commit else None
-            gla = self.gla_map(page)
-            if gla == txn.node:
-                self._apply_release(node, txn.txn_id, page, new_version)
+            home = self.gla_map(page)
+            host = hosts.get(home, home)
+            if host == txn.node:
+                self._apply_release(txn.txn_id, page, new_version, home)
             elif page in txn.auth_read_pages:
                 # Covered by a read authorization: release locally, no
                 # message to the GLA.
-                self.tables[gla].release(txn.txn_id, page)
+                self.tables[home].release(txn.txn_id, page)
             else:
-                remote_groups.setdefault(gla, []).append((page, new_version))
+                remote_groups.setdefault((host, home), []).append((page, new_version))
         txn.held_locks.clear()
         txn.auth_read_pages.clear()
-        for gla, pages in remote_groups.items():
+        for (host, home), pages in remote_groups.items():
             modified = [(p, v) for p, v in pages if v is not None]
             long = self.config.noforce and bool(modified)
             if long:
@@ -353,17 +411,22 @@ class PrimaryCopyProtocol(CCProtocol):
                 for page, version in modified:
                     node.buffer.mark_clean(page, version)
             yield from node.comm.send(
-                gla,
+                host,
                 "release",
-                {"txn_id": txn.txn_id, "pages": pages, "carry_pages": long},
+                {
+                    "txn_id": txn.txn_id,
+                    "pages": pages,
+                    "carry_pages": long,
+                    "home": home,
+                },
                 long=long,
             )
 
     def _apply_release(
-        self, gla_node: "Node", txn_id: int, page: PageId, new_version: Optional[int]
+        self, txn_id: int, page: PageId, new_version: Optional[int], home: int
     ) -> None:
         """Release one lock at its GLA and publish the new seqno."""
-        table = self.tables[gla_node.node_id]
+        table = self.tables[home]
         entry = table.entry(page)
         if new_version is not None:
             entry.seqno = new_version
@@ -372,14 +435,30 @@ class PrimaryCopyProtocol(CCProtocol):
     def _handle_release(self, node: "Node", payload: Dict[str, Any]):
         """GLA-side processing of a (possibly page-carrying) release."""
         txn_id = payload["txn_id"]
+        home = payload.get("home", node.node_id)
+        faults = self.cluster.faults
         for page, new_version in payload["pages"]:
             if new_version is not None and payload["carry_pages"]:
-                # NOFORCE: the modified page travelled with the release
-                # and the GLA takes over ownership (buffers it dirty).
-                yield from node.buffer.insert_received_page(
-                    page, new_version, dirty=True
-                )
-            self._apply_release(node, txn_id, page, new_version)
+                if (
+                    faults is not None
+                    and home != node.node_id
+                    and faults.gla_host(home) != node.node_id
+                ):
+                    # The carry raced a GLA failback: this node is no
+                    # longer the partition host, so instead of buffering
+                    # the page dirty (nobody would write it back), flush
+                    # it straight to the permanent database.
+                    yield from self.cluster.storage.write(
+                        page, new_version, node.cpu
+                    )
+                else:
+                    # NOFORCE: the modified page travelled with the
+                    # release and the GLA takes over ownership (buffers
+                    # it dirty).
+                    yield from node.buffer.insert_received_page(
+                        page, new_version, dirty=True
+                    )
+            self._apply_release(txn_id, page, new_version, home)
 
     # -- hooks ------------------------------------------------------------------
 
@@ -393,6 +472,223 @@ class PrimaryCopyProtocol(CCProtocol):
         """No GLA action: the authority keeps coherency responsibility."""
         return
         yield  # pragma: no cover
+
+    # -- fault injection -----------------------------------------------------
+
+    def lock_tables(self):
+        return tuple(self.tables)
+
+    def crash_node(self, faults, record) -> None:
+        """Synchronous teardown: the dead node's GLA partition is fenced.
+
+        The dead node's lock table and buffer were volatile, so loose
+        coupling loses the partition's entire lock state and every
+        dirty page buffered at its GLA -- the availability penalty the
+        paper contrasts with GEM-resident lock state (section 5).
+        """
+        home = record.node
+        faults.close_partition(home)
+        dead_node = self.cluster.nodes[home]
+        dead_node.auth_cache.clear()
+        # Requests queued in the dead table were being serviced by
+        # handler processes that died with the node; their requesters
+        # were answered with crash sentinels and will retry, so drop
+        # their stale deadlock-detector registrations.
+        for entry in self.tables[home]._entries.values():
+            for req in list(entry.queue):
+                self.detector.clear(req.txn)
+        # The dead node's read authorizations (and any other node's
+        # authorizations for the dead partition) are void.
+        for node in self.cluster.nodes:
+            if node.node_id == home:
+                continue
+            for page in [
+                p for p in node.auth_cache if self.gla_map(p) == home
+            ]:
+                del node.auth_cache[page]
+            for entry in self.tables[node.node_id]._entries.values():
+                entry.auth_nodes.discard(home)
+        # A page-carrying release that was in flight to the dead GLA is
+        # gone, and the sender already marked its copy clean: a stale
+        # page of the dead partition with no surviving *dirty* current
+        # copy has no write-back path left and must be REDOne.  (A
+        # surviving dirty copy belongs to an unreleased X holder, whose
+        # release will ship it to the replacement host.)
+        ledger = self.cluster.ledger
+        for page, committed in ledger.stale_pages():
+            if self.gla_map(page) != home or page in record.lost:
+                continue
+            if any(
+                node.buffer.has_current_dirty(page, committed)
+                for node in self.cluster.nodes
+                if node.node_id != home
+            ):
+                continue
+            record.lost[page] = committed
+
+    def _partition_snapshot(self, faults, home: int):
+        """Lock registrations of surviving transactions for ``home``.
+
+        Deterministic order: by node, transaction, page.  Valid while
+        the partition is fenced (no acquire or release can touch it).
+        """
+        registrations = []
+        for node in self.cluster.nodes:
+            if node.node_id == home or faults.is_down(node.node_id):
+                continue
+            for txn_id in sorted(node.tm.active):
+                txn = node.tm.active[txn_id][0]
+                for page in sorted(txn.held_locks):
+                    if self.gla_map(page) == home:
+                        registrations.append(
+                            (txn_id, page, txn.held_locks[page])
+                        )
+        return registrations
+
+    def recover(self, faults, record) -> Generator[Event, Any, None]:
+        """PCL failover: reassign the GLA and rebuild its lock table.
+
+        The replacement (lowest surviving node) announces the failover,
+        the dead node's lock holdings at *surviving* partitions are
+        released, every survivor ships its lock state for the dead
+        partition in a long message, the replacement pays per-lock
+        reconstruction CPU and REDOes the lost pages, and finally the
+        rebuilt table is installed and the partition reopened -- all
+        explicit message/CPU/IO work that close coupling avoids.
+        """
+        cluster = self.cluster
+        home = record.node
+        repl = faults.coordinator()
+        repl_node = cluster.nodes[repl]
+        cfg = faults.config
+        ledger = cluster.ledger
+        survivors = [
+            n
+            for n in cluster.nodes
+            if n.node_id != home and not faults.is_down(n.node_id)
+        ]
+        # 1. Failover announcement (delivery-confirmed short messages).
+        for survivor in survivors:
+            if survivor.node_id == repl:
+                continue
+            notice = self.sim.event()
+            yield from repl_node.comm.send(
+                survivor.node_id, "gla_failover", {"home": home}, reply_event=notice
+            )
+            yield notice
+        # 2. Release what the dead node's transactions held at surviving
+        # partitions (the dead partition's table is rebuilt from
+        # scratch, so only surviving tables need explicit cleanup).
+        for txn in record.killed:
+            for page in sorted(txn.held_locks):
+                gla = self.gla_map(page)
+                if gla == home:
+                    continue
+                table = self.tables[gla]
+                if table.holds(txn.txn_id, page) is None:
+                    continue
+                yield from cluster.nodes[gla].cpu.consume(
+                    cfg.recovery_instructions_per_lock
+                )
+                entry = table.entry(page)
+                entry.seqno = max(entry.seqno, ledger.committed_version(page))
+                table.release(txn.txn_id, page)
+        # 3. State exchange: one long message per other survivor, plus
+        # per-registration reconstruction CPU at the replacement.  The
+        # partition is fenced, so the registration set is stable.
+        registrations = self._partition_snapshot(faults, home)
+        for survivor in survivors:
+            if survivor.node_id == repl:
+                continue
+            done = self.sim.event()
+            yield from survivor.comm.send(
+                repl, "gla_state", {"home": home}, long=True, reply_event=done
+            )
+            yield done
+        if registrations:
+            yield from repl_node.cpu.consume(
+                len(registrations) * cfg.recovery_instructions_per_lock
+            )
+        # 4. REDO the dead partition's lost pages at the replacement.
+        yield from faults.redo_pages(record, repl)
+        # 5. Install the rebuilt table and reopen the partition at the
+        # replacement host -- synchronously, so no process can observe
+        # a half-built table.  Fresh entries start at the committed
+        # version (the old table's sequence numbers died with the node).
+        table = LockTable(f"gla{home}", seqno_init=ledger.committed_version)
+        for txn_id, page, write in self._partition_snapshot(faults, home):
+            mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
+            table.request(txn_id, page, mode, _noop)
+        self.tables[home] = table
+        faults.open_partition(home, repl)
+
+    def reintegrate(self, faults, record) -> Generator[Event, Any, None]:
+        """GLA failback: move the partition back to the restarted node.
+
+        The partition is fenced again; the interim host flushes its
+        dirty pages of the partition (it stops being the page owner),
+        ships the lock state back in a long message, and the home node
+        pays per-registration CPU before the partition reopens -- the
+        loose-coupling reintegration cost GEM does not have.
+        """
+        home = record.node
+        host = faults.gla_host(home)
+        if host == home or faults.is_down(host):
+            return
+        faults.close_partition(home)
+        cluster = self.cluster
+        host_node = cluster.nodes[host]
+        home_node = cluster.nodes[home]
+        # Flush the interim host's COMMITTED dirty pages of the
+        # partition so the permanent database is current when ownership
+        # returns home.  Uncommitted dirty frames stay: their owning
+        # transactions' releases will carry them to the home node.  The
+        # partition is fenced, so no new committed dirty page can
+        # appear; loop only because a page-carrying release may still
+        # arrive mid-flush.
+        ledger = cluster.ledger
+        while True:
+            dirty = host_node.buffer.dirty_frames(
+                lambda page: self.gla_map(page) == home
+            )
+            dirty = [
+                (page, version)
+                for page, version in dirty
+                if ledger.committed_version(page) == version
+            ]
+            if not dirty:
+                break
+            # Write back in parallel: the flush is random I/O to
+            # independent pages, limited by the storage server, not by
+            # a serial scan.
+            dones = []
+            for page, version in dirty:
+                done = self.sim.event()
+                self.sim.process(
+                    self._failback_flush(page, version, host_node, done),
+                    name="failback-flush",
+                )
+                dones.append(done)
+            yield self.sim.all_of(dones)
+        done = self.sim.event()
+        yield from host_node.comm.send(
+            home, "gla_failback", {"home": home}, long=True, reply_event=done
+        )
+        yield done
+        table = self.tables[home]
+        locks = sum(
+            len(e.holders) + len(e.queue) for e in table._entries.values()
+        )
+        if locks:
+            yield from home_node.cpu.consume(
+                locks * faults.config.recovery_instructions_per_lock
+            )
+        faults.open_partition(home, None)
+
+    def _failback_flush(self, page, version, node, done):
+        yield from self.cluster.storage.write(page, version, node.cpu)
+        node.buffer.mark_clean(page, version)
+        done.succeed()
 
     # -- statistics ----------------------------------------------------------------
 

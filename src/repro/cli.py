@@ -43,7 +43,22 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--warmup", type=float, default=2.0)
     parser.add_argument("--measure", type=float, default=8.0)
+    parser.add_argument(
+        "--faults", metavar="NODE:TIME:DOWN", action="append", default=None,
+        help="crash NODE at simulated second TIME for DOWN seconds "
+             "(repeatable; enables the fault-injection subsystem)",
+    )
     _add_parallel_arguments(parser)
+
+
+def _parse_fault_spec(text: str):
+    try:
+        node, time, down = text.split(":")
+        return {"node": int(node), "time": float(time), "down_time": float(down)}
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--faults expects NODE:TIME:DOWN, got {text!r}"
+        )
 
 
 def _positive_int(text: str) -> int:
@@ -63,7 +78,11 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace) -> SystemConfig:
+    faults = None
+    if getattr(args, "faults", None):
+        faults = {"crashes": [_parse_fault_spec(spec) for spec in args.faults]}
     return SystemConfig(
+        faults=faults,
         num_nodes=args.nodes,
         coupling=args.coupling,
         routing=args.routing,
@@ -206,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser = sub.add_parser("experiments", help="regenerate tables/figures")
     exp_parser.add_argument(
         "figure",
-        help="table41, fig41..fig47, or 'all'",
+        help="table41, fig41..fig47, fig_failover, or 'all'",
     )
     exp_parser.add_argument(
         "--scale", choices=["quick", "smoke", "full"], default="quick"

@@ -73,6 +73,18 @@ class VersionLedger:
         if version > self._storage.get(page, 0):
             self._storage[page] = version
 
+    def stale_pages(self):
+        """Pages whose permanent copy is behind the committed version.
+
+        Yields ``(page, committed_version)`` pairs in deterministic
+        (sorted) order.  Used by crash recovery to find pages whose
+        only current copy may have died with a node's buffer.
+        """
+        for page in sorted(self._committed):
+            committed = self._committed[page]
+            if committed > self._storage.get(page, 0):
+                yield page, committed
+
     # -- verification helpers ------------------------------------------
 
     def check_read(self, page: PageId, version: int, source: str) -> None:

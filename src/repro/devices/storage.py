@@ -52,6 +52,10 @@ class StorageDirectory:
         #: and destaged to their disks asynchronously (section 2's
         #: third usage form) -> the GEM device absorbing them.
         self._write_buffers: Dict[int, GemDevice] = {}
+        #: Fault manager hook (set by the cluster when fault injection
+        #: is enabled): reads of pages whose only current copy died
+        #: with a crashed node must wait for REDO recovery.
+        self.faults = None
 
     # -- configuration ----------------------------------------------------
 
@@ -80,6 +84,10 @@ class StorageDirectory:
 
     def read(self, page: PageId, cpu: CpuPool) -> Generator[Event, Any, int]:
         """Read ``page`` from its permanent storage; returns the version."""
+        if self.faults is not None:
+            # The permanent copy may be behind a crashed node's lost
+            # buffer update: block until REDO recovery restores it.
+            yield from self.faults.wait_redo(page)
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
             yield cpu.request()
@@ -132,6 +140,25 @@ class StorageDirectory:
     def _destage(self, backend: DiskArray, page: PageId):
         """Background disk update behind the GEM write buffer."""
         yield from backend.write(page, None)
+
+    def read_log(self, node_id: int, cpu: CpuPool) -> Generator[Event, Any, None]:
+        """Read one log page of ``node_id`` during crash recovery.
+
+        Log devices survive node crashes (dedicated log disk, or the
+        non-volatile GEM), so REDO always reads from the *crashed*
+        node's log -- charged to the recovering node's CPU.
+        """
+        if self._log_gem is not None:
+            yield cpu.request()
+            try:
+                yield cpu.busy_work(self.instructions_per_gem_io)
+                yield from self._log_gem.access_page()
+            finally:
+                cpu.release()
+            return
+        log_disk = self._log_disks[node_id]
+        yield from cpu.consume(self.instructions_per_io)
+        yield from log_disk.read((-1 - node_id, 0))
 
     def write_log(self, node_id: int, cpu: CpuPool) -> Generator[Event, Any, None]:
         """Write one log page at commit (phase 1).

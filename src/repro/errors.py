@@ -6,6 +6,7 @@ from repro.db.pages import CoherencyError
 
 __all__ = [
     "CoherencyError",
+    "NodeCrashed",
     "TransactionAborted",
     "BufferFullError",
     "UtilizationTargetError",
@@ -39,6 +40,28 @@ class TransactionAborted(Exception):
         super().__init__(f"transaction {txn_id} aborted ({reason})")
         self.txn_id = txn_id
         self.reason = reason
+
+
+class NodeCrashed(Exception):
+    """The process's node crashed under fault injection.
+
+    Raised inside every process running on a crashed node (transaction
+    lifecycles, message handlers) at its current ``yield``; cleanup
+    handlers unwind as usual so resource state stays consistent.  The
+    transaction manager swallows it -- the work died with the node and
+    is *not* restarted (unlike :class:`TransactionAborted`).
+
+    ``unhandled_ok`` tells the simulation kernel that a process failing
+    with this exception terminated cleanly: killed handler processes
+    have no waiters, and their death must not surface as an unhandled
+    simulation error.
+    """
+
+    unhandled_ok = True
+
+    def __init__(self, node_id: int):
+        super().__init__(f"node {node_id} crashed")
+        self.node_id = node_id
 
 
 class BufferFullError(Exception):

@@ -22,7 +22,17 @@ import sys
 import time
 from typing import Optional
 
-from repro.experiments import fig41, fig42, fig43, fig44, fig45, fig46, fig47, table41
+from repro.experiments import (
+    fig41,
+    fig42,
+    fig43,
+    fig44,
+    fig45,
+    fig46,
+    fig47,
+    fig_failover,
+    table41,
+)
 from repro.experiments.common import Scale
 from repro.system.config import SystemConfig
 from repro.system.parallel import ResultCache, SweepRunner
@@ -37,6 +47,7 @@ FIGURES = [
     ("fig45", fig45),
     ("fig46", fig46),
     ("fig47", fig47),
+    ("fig_failover", fig_failover),
 ]
 
 

@@ -1,0 +1,10 @@
+"""Fault injection and node failover.
+
+See :mod:`repro.faults.manager` for the crash/recovery lifecycle and
+:mod:`repro.faults.config` for the schedule and cost parameters.
+"""
+
+from repro.faults.config import CrashSpec, FaultConfig
+from repro.faults.manager import CrashRecord, FaultManager
+
+__all__ = ["CrashSpec", "FaultConfig", "CrashRecord", "FaultManager"]

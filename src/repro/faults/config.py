@@ -1,0 +1,93 @@
+"""Fault-injection configuration.
+
+A :class:`FaultConfig` describes *when* nodes crash (a scripted list of
+:class:`CrashSpec` events, a periodic MTTF/MTTR process, or both) and
+*how expensive* recovery is (restart CPU, per-lock and per-page
+recovery costs, failure-detection delay).
+
+Kept free of simulation imports so that :mod:`repro.system.config` can
+embed it in :class:`~repro.system.config.SystemConfig` (and hash it
+into result-cache keys via ``dataclasses.asdict``) without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["CrashSpec", "FaultConfig"]
+
+
+@dataclass
+class CrashSpec:
+    """One scripted crash: ``node`` fails at ``time`` for ``down_time``.
+
+    Times are simulation seconds measured from the start of the run
+    (warm-up included), so crashes meant for the measurement interval
+    must be scheduled after ``warmup_time``.
+    """
+
+    time: float
+    node: int
+    down_time: float
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.time!r}")
+        if self.node < 0:
+            raise ValueError(f"crash node must be >= 0, got {self.node!r}")
+        if self.down_time <= 0:
+            raise ValueError(f"down_time must be > 0, got {self.down_time!r}")
+
+
+@dataclass
+class FaultConfig:
+    """Fault schedule plus recovery cost model.
+
+    The cost parameters follow the paper's instruction-based accounting
+    (Table 4.1 style): recovery work is charged as CPU instructions at
+    the recovering node plus explicit messages and I/O, so close and
+    loose coupling pay their structurally different failover protocols
+    rather than a fixed penalty.
+    """
+
+    #: Scripted crashes (deterministic; independent of the RNG).
+    crashes: List[CrashSpec] = field(default_factory=list)
+    #: Mean time to failure for the periodic (Poisson) fault process;
+    #: 0 disables periodic faults.  Seeded from the "faults" stream.
+    mttf: float = 0.0
+    #: Mean repair time for periodic faults (exponential).
+    mttr: float = 0.0
+    #: Upper bound on periodic crashes (scripted crashes don't count).
+    max_crashes: int = 1
+    #: Failure-detection delay before failover work starts (timeouts /
+    #: membership protocol), in seconds.
+    detection_delay: float = 0.010
+    #: CPU instructions for the restarted node to rejoin (reboot, DBMS
+    #: restart, cache warm-start bookkeeping).
+    restart_instructions: float = 5.0e6
+    #: CPU instructions per lock entry handled during GLA lock-table
+    #: reconstruction / dead-transaction lock cleanup.
+    recovery_instructions_per_lock: float = 3000.0
+    #: CPU instructions per page REDO (log record apply).
+    recovery_instructions_per_page: float = 3000.0
+    #: REDO records applied per sequential log-device access (log
+    #: recovery scans the log, it does not random-read it).
+    redo_batch_pages: int = 16
+
+    def __post_init__(self):
+        self.crashes = [
+            crash if isinstance(crash, CrashSpec) else CrashSpec(**crash)
+            for crash in self.crashes
+        ]
+        if self.mttf < 0 or self.mttr < 0:
+            raise ValueError("mttf/mttr must be >= 0")
+        if self.mttf == 0 and self.mttr > 0:
+            raise ValueError("mttr given without mttf")
+        if self.mttf > 0 and self.mttr <= 0:
+            raise ValueError("periodic faults need mttr > 0")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.crashes) or self.mttf > 0

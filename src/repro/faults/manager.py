@@ -1,0 +1,414 @@
+"""Fault injection and node-failover orchestration.
+
+The :class:`FaultManager` crashes nodes according to the configured
+:class:`~repro.faults.config.FaultConfig`, tears their volatile state
+down, drives the coupling regime's recovery protocol, and restarts
+them.  One crash/recovery cycle:
+
+1. **Crash (zero simulated time).**  The node is marked down; every
+   in-flight transaction lifecycle and message-handler process on it is
+   interrupted with :class:`~repro.errors.NodeCrashed` (their cleanup
+   handlers run, so resources return consistently); the mailbox is
+   drained; in-flight messages to/from the node are dropped by the
+   communication subsystem; reply events *watched* by pending remote
+   requests are answered with a ``{"crashed": True}`` sentinel; pages
+   whose only current copy died with the node's buffer are identified
+   from the version ledger and fenced behind ``pending_redo`` events;
+   finally the buffer is dropped and the protocol's synchronous
+   ``crash_node`` hook runs (PCL closes the dead GLA partition; GEM
+   clears the node's lock authorizations).
+
+2. **Failover (simulated work).**  After ``detection_delay`` the
+   protocol's ``recover`` generator replays the regime's failover
+   protocol -- close coupling reuses the surviving (non-volatile) GLT,
+   loose coupling reassigns the GLA partition and reconstructs its
+   lock table from the survivors over explicit messages -- and REDOes
+   the lost pages from the crashed node's surviving log.
+
+3. **Restart and reintegration.**  When the configured down time
+   elapses the node pays its restart CPU, is marked up (arrivals flow
+   to it again), and the protocol's ``reintegrate`` hook runs (PCL
+   transfers the GLA partition back; GEM needs nothing -- the lock
+   state survived in GEM).
+
+Only one failure is in flight at a time (the paper's single-failure
+availability analysis): a scheduled crash that would overlap an ongoing
+crash/recovery cycle, or leave no node up, is skipped and counted in
+``crashes_skipped``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.errors import NodeCrashed
+from repro.faults.config import CrashSpec, FaultConfig
+from repro.obs import phases
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.pages import PageId
+    from repro.sim.engine import Event, Process
+    from repro.system.cluster import Cluster
+
+__all__ = ["CrashRecord", "FaultManager"]
+
+
+class CrashRecord:
+    """Bookkeeping of one crash/recovery cycle."""
+
+    __slots__ = (
+        "node",
+        "crash_time",
+        "failover_done",
+        "restart_time",
+        "up_time",
+        "reintegration_done",
+        "killed",
+        "lost",
+    )
+
+    def __init__(self, node: int, crash_time: float):
+        self.node = node
+        self.crash_time = crash_time
+        #: Simulation time the surviving nodes regained full service.
+        self.failover_done: Optional[float] = None
+        #: Simulation time the node began its restart.
+        self.restart_time: Optional[float] = None
+        #: Simulation time the node was marked up again.
+        self.up_time: Optional[float] = None
+        #: Simulation time reintegration work finished (PCL failback).
+        self.reintegration_done: Optional[float] = None
+        #: Transactions killed by the crash (their state is read by the
+        #: recovery protocols before any cleanup).
+        self.killed: List = []
+        #: page -> committed version that must be REDOne from the log.
+        self.lost: Dict = {}
+
+
+class FaultManager:
+    """Crashes and restarts nodes; owns all failure-related state."""
+
+    def __init__(self, cluster: "Cluster", config: FaultConfig):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = config
+        self.stream = cluster.streams.stream("faults")
+        #: Node ids currently crashed.
+        self.down: Set[int] = set()
+        self.records: List[CrashRecord] = []
+        self.crashes = 0
+        self.crashes_skipped = 0
+        self.aborted_by_crash = 0
+        self.redirected_arrivals = 0
+        #: page -> event fencing storage reads until REDO completes.
+        self._pending_redo: Dict["PageId", "Event"] = {}
+        #: dst node -> reply events of in-flight requests to it.
+        self._watched: Dict[int, Set["Event"]] = {}
+        #: Message-handler processes per node (pruned opportunistically).
+        self._handlers: Dict[int, List["Process"]] = {}
+        #: PCL partition gates: home -> event open()ed when the
+        #: partition accepts requests again.
+        self._gates: Dict[int, "Event"] = {}
+        #: PCL GLA reassignment: home -> node currently hosting it.
+        self._gla_override: Dict[int, int] = {}
+
+    def start(self) -> None:
+        """Spawn the fault-injection processes (call once, at build)."""
+        for index, spec in enumerate(self.config.crashes):
+            self.sim.process(self._scripted(spec), name=f"fault-crash{index}")
+        if self.config.mttf > 0:
+            self.sim.process(self._periodic(), name="fault-periodic")
+
+    # -- liveness queries (hot path: must be cheap) ---------------------
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self.down
+
+    def coordinator(self) -> int:
+        """Lowest-numbered surviving node (runs recovery work)."""
+        for node_id in range(self.cluster.config.num_nodes):
+            if node_id not in self.down:
+                return node_id
+        raise RuntimeError("no surviving node")  # guarded against in _cycle
+
+    def reroute(self, node_id: int) -> int:
+        """Arrival routing: next surviving node after a crashed target."""
+        if node_id not in self.down:
+            return node_id
+        num_nodes = self.cluster.config.num_nodes
+        for offset in range(1, num_nodes):
+            candidate = (node_id + offset) % num_nodes
+            if candidate not in self.down:
+                self.redirected_arrivals += 1
+                return candidate
+        raise RuntimeError("all nodes down")
+
+    # -- reply watching -------------------------------------------------
+
+    def watch(self, dst: int, reply: "Event") -> None:
+        """Register a pending request's reply event against ``dst``.
+
+        If ``dst`` crashes before answering, the event is answered with
+        a ``{"crashed": True}`` sentinel so the requester can retry; a
+        late genuine reply is then dropped by the comm subsystem.  If
+        ``dst`` is already down the sentinel fires immediately.
+        """
+        if dst in self.down:
+            reply.succeed({"crashed": True})
+            return
+        self._watched.setdefault(dst, set()).add(reply)
+
+    def unwatch(self, dst: int, reply: "Event") -> None:
+        watched = self._watched.get(dst)
+        if watched is not None:
+            watched.discard(reply)
+
+    # -- REDO fencing ---------------------------------------------------
+
+    def wait_redo(self, page: "PageId"):
+        """Block while ``page``'s permanent copy awaits REDO recovery."""
+        event = self._pending_redo.get(page)
+        if event is not None:
+            yield event
+
+    def _redo_done(self, page: "PageId") -> None:
+        event = self._pending_redo.pop(page, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def redo_pages(self, record: CrashRecord, worker_id: int):
+        """REDO ``record.lost`` at ``worker_id`` from the surviving log.
+
+        Shared by both regimes; what differs is *who* runs it and what
+        surrounds it.  The crashed node's log is scanned sequentially
+        (one log-device access per ``redo_batch_pages`` REDO records),
+        each page costs recovery CPU, and the restoring writes of a
+        batch proceed in parallel across the database disks -- the
+        standard recovery structure (sequential log read, parallel
+        random write-back).
+        """
+        cluster = self.cluster
+        worker = cluster.nodes[worker_id]
+        pages = sorted(record.lost)
+        batch = max(1, self.config.redo_batch_pages)
+        for start in range(0, len(pages), batch):
+            chunk = pages[start : start + batch]
+            yield from cluster.storage.read_log(record.node, worker.cpu)
+            yield from worker.cpu.consume(
+                len(chunk) * self.config.recovery_instructions_per_page
+            )
+            dones = []
+            for page in chunk:
+                done = self.sim.event()
+                self.sim.process(
+                    self._redo_write(record.lost[page], page, worker, done),
+                    name="redo-write",
+                )
+                dones.append(done)
+            yield self.sim.all_of(dones)
+
+    def _redo_write(self, version: int, page: "PageId", worker, done: "Event"):
+        yield from self.cluster.storage.write(page, version, worker.cpu)
+        self._redo_done(page)
+        done.succeed()
+
+    # -- handler tracking ----------------------------------------------
+
+    def track_handler(self, node_id: int, proc: "Process") -> None:
+        """Remember a message-handler process for crash teardown."""
+        procs = self._handlers.setdefault(node_id, [])
+        if len(procs) > 64:
+            live = [p for p in procs if p.is_alive]
+            self._handlers[node_id] = procs = live
+        procs.append(proc)
+
+    # -- PCL partition gates --------------------------------------------
+
+    def close_partition(self, home: int) -> None:
+        """Fence a GLA partition while it is reassigned/transferred."""
+        if home not in self._gates:
+            self._gates[home] = self.sim.event()
+
+    def open_partition(self, home: int, host: Optional[int]) -> None:
+        """Reopen a partition, served by ``host`` (None: its own node)."""
+        if host is None or host == home:
+            self._gla_override.pop(home, None)
+        else:
+            self._gla_override[home] = host
+        gate = self._gates.pop(home, None)
+        if gate is not None:
+            gate.succeed()
+
+    def resolve_gla(self, home: int):
+        """Effective host of GLA partition ``home`` (waits out gates)."""
+        while True:
+            gate = self._gates.get(home)
+            if gate is None:
+                break
+            yield gate
+        return self._gla_override.get(home, home)
+
+    def gla_host(self, home: int) -> int:
+        """Current host without waiting (introspection/tests)."""
+        return self._gla_override.get(home, home)
+
+    # -- fault processes ------------------------------------------------
+
+    def _scripted(self, spec: CrashSpec):
+        yield self.sim.timeout(spec.time)
+        yield from self._cycle(spec.node, spec.down_time)
+
+    def _periodic(self):
+        remaining = self.config.max_crashes
+        num_nodes = self.cluster.config.num_nodes
+        while remaining > 0:
+            yield self.sim.timeout(self.stream.exponential(self.config.mttf))
+            node_id = self.stream.randint(0, num_nodes - 1)
+            down_time = self.stream.exponential(self.config.mttr)
+            if down_time <= 0:
+                continue
+            yield from self._cycle(node_id, down_time)
+            remaining -= 1
+
+    def _cycle(self, node_id: int, down_time: float):
+        """One complete crash / failover / restart / reintegration."""
+        if (
+            node_id in self.down
+            or self.down
+            or self._gates
+            or self._gla_override
+            or self.cluster.config.num_nodes < 2
+        ):
+            # Single-failure analysis: never overlap an ongoing cycle
+            # (including a pending PCL failback) or kill the last node.
+            self.crashes_skipped += 1
+            return
+        record = self._crash(node_id)
+        if self.config.detection_delay > 0:
+            yield self.sim.timeout(self.config.detection_delay)
+        yield from self.cluster.protocol.recover(self, record)
+        # REDO fences must all be lifted by now; anything the protocol
+        # did not cover would deadlock readers, so fail fast instead.
+        leftover = [p for p in record.lost if p in self._pending_redo]
+        if leftover:
+            raise RuntimeError(f"recovery left pages unredone: {leftover[:5]}")
+        record.failover_done = self.sim.now
+        self.cluster.recorder.interval(
+            node_id, phases.RECOVERY_FAILOVER, record.crash_time, self.sim.now
+        )
+        restart_at = record.crash_time + down_time
+        if restart_at > self.sim.now:
+            yield self.sim.timeout(restart_at - self.sim.now)
+        record.restart_time = self.sim.now
+        node = self.cluster.nodes[node_id]
+        yield from node.cpu.consume(self.config.restart_instructions)
+        self.down.discard(node_id)
+        record.up_time = self.sim.now
+        yield from self.cluster.protocol.reintegrate(self, record)
+        record.reintegration_done = self.sim.now
+        self.cluster.recorder.interval(
+            node_id,
+            phases.RECOVERY_REINTEGRATION,
+            record.restart_time,
+            self.sim.now,
+        )
+
+    # -- the crash itself (synchronous) ---------------------------------
+
+    def _crash(self, node_id: int) -> CrashRecord:
+        """Tear down ``node_id``'s volatile state at the current instant.
+
+        Runs without yielding: no other process can observe a
+        half-crashed node.
+        """
+        cluster = self.cluster
+        node = cluster.nodes[node_id]
+        self.down.add(node_id)
+        self.crashes += 1
+        record = CrashRecord(node_id, self.sim.now)
+        self.records.append(record)
+
+        # 1. Kill the node's in-flight transactions.  Interrupts unwind
+        # the lifecycles through their cleanup handlers (resource
+        # cancel-on-throw etc.); NodeCrashed is swallowed by the
+        # transaction manager, so the work simply disappears.
+        for txn_id, (txn, proc) in list(node.tm.active.items()):
+            if proc.interrupt(NodeCrashed(node_id)):
+                record.killed.append(txn)
+        self.aborted_by_crash += len(record.killed)
+
+        # 2. Purge the dead transactions from global lock state that
+        # does *not* unwind with their processes: queued (not yet
+        # granted) lock requests anywhere in the cluster, and deadlock
+        # detector registrations.  Locks they *hold* stay until the
+        # recovery protocol releases them -- that delay is part of the
+        # failover cost.
+        for txn in record.killed:
+            # Invoking the abort callback cancels the queued request
+            # AND unwinds a GLA-side handler process blocked on the
+            # dead transaction's behalf at a surviving node.
+            cluster.detector.abort_blocked(txn.txn_id)
+            cluster.detector.clear(txn.txn_id)
+        for table in cluster.protocol.lock_tables():
+            for txn in record.killed:
+                if table.is_blocked(txn.txn_id):
+                    table.cancel(txn.txn_id, table.blocked_page(txn.txn_id))
+
+        # 3. Kill message-handler processes and drop queued messages.
+        for proc in self._handlers.pop(node_id, []):
+            proc.interrupt(NodeCrashed(node_id))
+        node.mailbox.clear()
+
+        # 4. Answer watched replies with the crash sentinel so blocked
+        # remote requesters on surviving nodes can retry.
+        for reply in self._watched.pop(node_id, set()):
+            if not reply.triggered:
+                reply.succeed({"crashed": True})
+
+        # 5. The buffer content is gone.  Afterwards, any page whose
+        # committed version now exists in no surviving buffer and not
+        # on permanent storage must be REDOne from the log before
+        # anyone may read it from storage.
+        node.buffer.drop_all()
+        ledger = cluster.ledger
+        up_nodes = [n for n in cluster.nodes if n.node_id not in self.down]
+        for page, committed in ledger.stale_pages():
+            if any(
+                survivor.buffer.has_current_version(page, committed)
+                for survivor in up_nodes
+            ):
+                continue
+            record.lost[page] = committed
+        # 6. Protocol-specific synchronous teardown (may extend
+        # record.lost); then fence the lost pages.
+        cluster.protocol.crash_node(self, record)
+        for page in record.lost:
+            if page not in self._pending_redo:
+                self._pending_redo[page] = self.sim.event()
+        return record
+
+    # -- availability metrics -------------------------------------------
+
+    def mean_failover_time(self) -> float:
+        times = [
+            r.failover_done - r.crash_time
+            for r in self.records
+            if r.failover_done is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+    def mean_reintegration_time(self) -> float:
+        times = [
+            r.reintegration_done - r.restart_time
+            for r in self.records
+            if r.reintegration_done is not None and r.restart_time is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+    def total_down_time(self, now: Optional[float] = None) -> float:
+        now = self.sim.now if now is None else now
+        total = 0.0
+        for record in self.records:
+            up_at = record.up_time if record.up_time is not None else now
+            total += max(0.0, up_at - record.crash_time)
+        return total

@@ -146,6 +146,27 @@ class BufferManager:
         if frame is not None and frame.protects > 0:
             frame.protects -= 1
 
+    def drop_all(self) -> None:
+        """Crash teardown: the node's volatile buffer content is lost.
+
+        The fault manager snapshots redo-relevant dirty frames *before*
+        calling this.  In-flight write-backs and evictions observe the
+        frame vanishing (their ``self._frames.get(page) is frame``
+        guards fail) and leave it dropped.
+        """
+        self._frames.clear()
+
+    def dirty_frames(self, predicate=None):
+        """Sorted ``(page, version)`` of dirty frames (fault recovery).
+
+        ``predicate`` filters by page; pass None for all dirty frames.
+        """
+        return sorted(
+            (page, frame.version)
+            for page, frame in self._frames.items()
+            if frame.dirty and (predicate is None or predicate(page))
+        )
+
     def mark_clean(self, page: PageId, version: int) -> None:
         """Responsibility for writing ``page`` moved elsewhere (PCL:
         the modified page was shipped to its GLA node at commit)."""

@@ -90,11 +90,23 @@ class CommSubsystem:
         network = self.cluster.network
         nbytes = self.bytes_long if message.long else self.bytes_short
         yield from network.transmit(nbytes)
+        faults = self.cluster.faults
+        if faults is not None and (
+            faults.is_down(message.src) or faults.is_down(message.dst)
+        ):
+            # The message is lost: one of its endpoints crashed while
+            # it was in flight.  Reply events watched by the fault
+            # manager were already answered with a crash sentinel.
+            return
         dst_node = self.cluster.nodes[message.dst]
         yield from dst_node.cpu.consume(
             dst_node.comm._overhead(message.long)
         )
         if message.reply_event is not None:
+            if faults is not None and message.reply_event.triggered:
+                # A crash sentinel already answered this request; drop
+                # the late genuine reply.
+                return
             message.reply_event.succeed(message.payload)
         else:
             dst_node.mailbox.put(message)

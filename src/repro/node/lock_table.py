@@ -74,8 +74,17 @@ class LockEntry:
 class LockTable:
     """Lock entries for a set of pages."""
 
-    def __init__(self, name: str = "locktable"):
+    def __init__(
+        self,
+        name: str = "locktable",
+        seqno_init: Optional[Callable[[PageId], int]] = None,
+    ):
         self.name = name
+        #: Sequence number of a freshly created entry.  A table built
+        #: during crash recovery must not promise seqno 0 for pages it
+        #: has never seen -- it initializes entries from the committed
+        #: ledger state instead.
+        self._seqno_init = seqno_init
         self._entries: Dict[PageId, LockEntry] = {}
         self._blocked: Dict[int, PageId] = {}  # txn -> page it waits on
         self.requests = 0
@@ -88,6 +97,8 @@ class LockTable:
         entry = self._entries.get(page)
         if entry is None:
             entry = LockEntry()
+            if self._seqno_init is not None:
+                entry.seqno = self._seqno_init(page)
             self._entries[page] = entry
         return entry
 

@@ -77,9 +77,12 @@ class Node:
                     f"node {self.node_id}: no handler for message "
                     f"kind {message.kind!r}"
                 )
-            self.sim.process(
+            proc = self.sim.process(
                 handler(self, message.payload), name=f"handle-{message.kind}"
             )
+            faults = self.cluster.faults
+            if faults is not None and proc.is_alive:
+                faults.track_handler(self.node_id, proc)
 
     # -- HISTORY append cursor ------------------------------------------------
 

@@ -16,11 +16,11 @@ Deadlock victims are rolled back, wait a short back-off, and restart.
 
 from __future__ import annotations
 
-from typing import Any, Generator, TYPE_CHECKING
+from typing import Any, Dict, Generator, Tuple, TYPE_CHECKING
 
-from repro.errors import TransactionAborted
+from repro.errors import NodeCrashed, TransactionAborted
 from repro.obs import phases
-from repro.sim.engine import Event
+from repro.sim.engine import Event, Process
 from repro.workload.transaction import PageAccess, Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,6 +41,9 @@ class TransactionManager:
         self.stream = node.cluster.streams.stream(f"tm-{node.node_id}")
         profile = node.cluster.instruction_profile
         self.instr_bot, self.instr_per_access, self.instr_eot = profile
+        #: In-flight transactions: txn_id -> (txn, lifecycle process).
+        #: The fault manager interrupts these when the node crashes.
+        self.active: Dict[int, Tuple[Transaction, Process]] = {}
 
     def submit(self, txn: Transaction) -> None:
         """Accept a transaction from the SOURCE/router."""
@@ -48,9 +51,22 @@ class TransactionManager:
         txn.arrival_time = self.sim.now
         self.node.arrivals.increment()
         self.node.recorder.txn_begin(txn.txn_id, self.node.node_id, self.sim.now)
-        self.sim.process(self._lifecycle(txn), name=f"txn-{txn.txn_id}")
+        proc = self.sim.process(self._lifecycle(txn), name=f"txn-{txn.txn_id}")
+        if proc.is_alive:
+            self.active[txn.txn_id] = (txn, proc)
 
     def _lifecycle(self, txn: Transaction):
+        try:
+            yield from self._admitted(txn)
+        except NodeCrashed:
+            # The node died under this transaction.  The unwound
+            # finally blocks already returned its resources; the work
+            # is lost (not restarted -- the arrival itself is gone).
+            self.node.recorder.txn_end(txn.txn_id, self.sim.now, committed=False)
+        finally:
+            self.active.pop(txn.txn_id, None)
+
+    def _admitted(self, txn: Transaction):
         recorder = self.node.recorder
         request = self.node.mpl.request()
         try:

@@ -49,6 +49,13 @@ BACKOFF = "backoff"
 #: the components always sum to the measured response time).
 OTHER = "other"
 
+#: Recovery intervals recorded by the fault manager (node-scoped, not
+#: per-transaction; deliberately *not* part of :data:`PHASES`, which
+#: drives the response-time breakdown tables).
+RECOVERY_FAILOVER = "recovery_failover"
+RECOVERY_REINTEGRATION = "recovery_reintegration"
+RECOVERY_PHASES = (RECOVERY_FAILOVER, RECOVERY_REINTEGRATION)
+
 #: Canonical reporting order of all phases.
 PHASES = (
     INPUT_QUEUE,

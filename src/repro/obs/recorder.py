@@ -53,6 +53,9 @@ class NullRecorder:
     def span(self, txn_id, phase):
         return _NULL_SPAN
 
+    def interval(self, node_id, phase, start, end):
+        pass
+
     def reset(self):
         pass
 
@@ -173,6 +176,16 @@ class PhaseRecorder:
 
     def span(self, txn_id: Optional[int], phase: str) -> _Span:
         return _Span(self, txn_id, phase)
+
+    def interval(self, node_id: int, phase: str, start: float, end: float) -> None:
+        """Record a node-scoped interval (e.g. a recovery phase).
+
+        Kept only in the raw span list for trace export, keyed by a
+        negative pseudo transaction id so it cannot collide with real
+        transactions; it does not enter the response-time breakdown.
+        """
+        if self.keep_spans:
+            self.spans.append(SpanEvent(-(node_id + 1), node_id, phase, start, end, 0))
 
     def _push(self, txn_id, phase: str) -> None:
         record = self._active.get(txn_id)

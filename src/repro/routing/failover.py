@@ -1,0 +1,36 @@
+"""Failover wrapper around any workload router.
+
+When fault injection is enabled, the SOURCE keeps generating arrivals
+for all nodes; this wrapper redirects the share aimed at a crashed node
+to the next surviving one (the paper's front-end redistributes work on
+a node failure).  The base router keeps its own state, so routing with
+faults disabled -- or before/after a crash window -- is bit-identical
+to the unwrapped router.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.workload.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.system.cluster import Cluster
+
+__all__ = ["FailoverRouter"]
+
+
+class FailoverRouter:
+    """Delegate to ``base``; reroute targets that are currently down."""
+
+    def __init__(self, base, cluster: "Cluster"):
+        self.base = base
+        self.cluster = cluster
+        self.num_nodes = base.num_nodes
+
+    def route(self, txn: Transaction) -> int:
+        target = self.base.route(txn)
+        faults = self.cluster.faults
+        if faults is not None:
+            return faults.reroute(target)
+        return target

@@ -48,6 +48,10 @@ class Interrupted(Exception):
 _PENDING = object()
 
 
+def _discard(event: "Event") -> None:
+    """Callback placeholder for waiters detached by an interrupt."""
+
+
 class Event:
     """A one-shot occurrence that processes can wait for.
 
@@ -169,11 +173,50 @@ class Process(Event):
         bootstrap._ok = True
         bootstrap._value = None
         bootstrap.callbacks.append(self._resume)
+        self._waiting_on = bootstrap
         sim._schedule(bootstrap, 0.0, priority=URGENT)
 
     @property
     def is_alive(self) -> bool:
         return not self.triggered
+
+    def interrupt(self, cause: BaseException) -> bool:
+        """Tear the process off whatever event it is waiting on.
+
+        ``cause`` is raised inside the generator at its current
+        ``yield``, exactly as if the awaited event had failed.  Cleanup
+        handlers (``try``/``finally``, resource cancel-on-throw) run as
+        usual, so model state stays consistent.
+
+        Returns ``False`` (and does nothing) when the process has
+        already finished.  Interrupting a process twice before the
+        first interrupt is delivered is a no-op on the second call.
+        """
+        if self.triggered:
+            return False
+        target = self._waiting_on
+        if target is None:
+            # Interrupt already pending (or process mid-resume, which
+            # cannot happen from model code: the event loop is single
+            # threaded and only the interrupt relay clears _waiting_on).
+            return False
+        if target.callbacks is not None:
+            try:
+                index = target.callbacks.index(self._resume)
+            except ValueError:
+                pass
+            else:
+                # Keep a placeholder so a later failure of the
+                # abandoned event is discarded instead of surfacing as
+                # an unhandled simulation error.
+                target.callbacks[index] = _discard
+        self._waiting_on = None
+        relay = Event(self.sim)
+        relay._ok = False
+        relay._value = cause
+        relay.callbacks.append(self._resume)
+        self.sim._schedule(relay, 0.0, priority=URGENT)
+        return True
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
@@ -206,15 +249,16 @@ class Process(Event):
         if target.sim is not self.sim:
             self.fail(SimulationError("yielded event belongs to another simulator"))
             return
-        self._waiting_on = target
         if target.processed:
             # Already done: resume immediately (at current time, urgent).
             relay = Event(self.sim)
             relay._ok = target._ok
             relay._value = target._value
             relay.callbacks.append(self._resume)
+            self._waiting_on = relay
             self.sim._schedule(relay, 0.0, priority=URGENT)
         else:
+            self._waiting_on = target
             target.callbacks.append(self._resume)
 
 
@@ -360,9 +404,15 @@ class Simulator:
         self._processed += 1
         for callback in callbacks:
             callback(event)
-        if not event._ok and not callbacks:
+        if (
+            not event._ok
+            and not callbacks
+            and not getattr(event._value, "unhandled_ok", False)
+        ):
             # A failed event (or crashed process) nobody waited for:
             # surface the error rather than losing it silently.
+            # Exceptions marking themselves ``unhandled_ok`` (a process
+            # torn down by fault injection) are a clean termination.
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:

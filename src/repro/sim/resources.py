@@ -191,6 +191,14 @@ class Store:
             self._getters.append(event)
         return event
 
+    def clear(self) -> int:
+        """Drop all buffered items (crash teardown); returns the count."""
+        dropped = len(self._items)
+        if dropped:
+            self._items.clear()
+            self.size_stat.update(0, self.sim.now)
+        return dropped
+
     def reset_stats(self) -> None:
         self.size_stat.reset(self.sim.now)
         self.puts = 0

@@ -22,10 +22,12 @@ from repro.devices.disk_cache import DiskCache
 from repro.devices.gem import GemDevice
 from repro.devices.network import Network
 from repro.devices.storage import StorageDirectory
+from repro.faults.manager import FaultManager
 from repro.node.node import Node
 from repro.node.transaction_manager import TransactionManager
 from repro.obs.recorder import NULL_RECORDER, PhaseRecorder
 from repro.routing.affinity import AffinityRouter
+from repro.routing.failover import FailoverRouter
 from repro.routing.random_router import RandomRouter
 from repro.sim.engine import Simulator
 from repro.sim.rng import StreamRegistry
@@ -46,6 +48,11 @@ class Cluster:
         self.streams = StreamRegistry(config.random_seed)
         self.ledger = VersionLedger()
         self.detector = DeadlockDetector()
+        #: FaultManager when fault injection is enabled, else None.
+        #: Every fault hook in the hot path is gated on this being
+        #: non-None, so a run without faults is bit-identical to one
+        #: built before the fault subsystem existed.
+        self.faults: Optional[FaultManager] = None
         if config.trace_spans:
             self.recorder = PhaseRecorder(self.sim, keep_spans=True)
         elif config.collect_breakdown:
@@ -114,6 +121,13 @@ class Cluster:
             config.total_arrival_rate,
             self.streams.stream("arrivals"),
         )
+        # -- fault injection ---------------------------------------------------
+        if config.faults is not None and config.faults.enabled:
+            self.faults = FaultManager(self, config.faults)
+            self.storage.faults = self.faults
+            self.router = FailoverRouter(self.router, self)
+            self.source.router = self.router
+            self.faults.start()
 
     # -- construction helpers ----------------------------------------------
 
@@ -364,5 +378,23 @@ class Cluster:
             generated=self.source.generated,
             breakdown=(
                 self.recorder.breakdown() if self.recorder.enabled else None
+            ),
+            # Availability metrics cover the WHOLE run, warm-up
+            # included: a crash/recovery cycle may straddle the
+            # measurement boundary, so they are deliberately not reset
+            # by reset_stats().
+            crashes=self.faults.crashes if self.faults else 0,
+            aborted_by_crash=self.faults.aborted_by_crash if self.faults else 0,
+            arrivals_redirected=(
+                self.faults.redirected_arrivals if self.faults else 0
+            ),
+            mean_failover_seconds=(
+                self.faults.mean_failover_time() if self.faults else 0.0
+            ),
+            mean_reintegration_seconds=(
+                self.faults.mean_reintegration_time() if self.faults else 0.0
+            ),
+            total_down_seconds=(
+                self.faults.total_down_time() if self.faults else 0.0
             ),
         )

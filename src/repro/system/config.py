@@ -13,6 +13,7 @@ import enum
 from typing import Optional
 
 from repro.db.schema import StorageKind
+from repro.faults.config import FaultConfig
 
 __all__ = [
     "Coupling",
@@ -242,6 +243,11 @@ class SystemConfig:
     #: paper's 250k path length already covers normal CC processing).
     instructions_per_lock_op: float = 0.0
 
+    # -- fault injection ---------------------------------------------------
+    #: Crash/restart schedule and recovery cost model; None disables
+    #: fault handling entirely (zero overhead, bit-identical results).
+    faults: Optional[FaultConfig] = None
+
     # -- run control -------------------------------------------------------
     random_seed: int = 42
     #: Simulated warm-up period discarded from statistics.
@@ -272,6 +278,14 @@ class SystemConfig:
             raise ValueError("mpl_per_node must be >= 1")
         if self.buffer_pages_per_node < 10:
             raise ValueError("buffer_pages_per_node must be >= 10")
+        if isinstance(self.faults, dict):
+            self.faults = FaultConfig(**self.faults)
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                if crash.node >= self.num_nodes:
+                    raise ValueError(
+                        f"crash node {crash.node} >= num_nodes {self.num_nodes}"
+                    )
 
     @property
     def force(self) -> bool:

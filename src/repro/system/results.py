@@ -83,6 +83,23 @@ class RunResult:
     #: components sum to ``mean_response_time`` (residual in "other").
     breakdown: Optional[Dict[str, float]] = None
 
+    # -- availability (fault injection; all zero when faults are off) ---------
+    #: Crash/recovery cycles injected over the whole run (warm-up
+    #: included -- a recovery may straddle the measurement boundary).
+    crashes: int = 0
+    #: In-flight transactions killed by node crashes.
+    aborted_by_crash: int = 0
+    #: Arrivals redirected away from crashed nodes by the router.
+    arrivals_redirected: int = 0
+    #: Mean seconds from crash until the survivors regained full
+    #: service (dead locks released, GLA reassigned, REDO complete).
+    mean_failover_seconds: float = 0.0
+    #: Mean seconds from node restart until full reintegration (GEM:
+    #: restart CPU only; PCL: plus the GLA failback transfer).
+    mean_reintegration_seconds: float = 0.0
+    #: Total node-down seconds over the run.
+    total_down_seconds: float = 0.0
+
     @property
     def throughput_per_node(self) -> float:
         return self.throughput_total / self.num_nodes if self.num_nodes else 0.0

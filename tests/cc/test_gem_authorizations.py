@@ -1,31 +1,12 @@
 """Unit tests for the GEM lock-authorization refinement (section 2)."""
 
-from repro.system.cluster import Cluster
-from repro.system.config import SystemConfig
-from repro.workload.transaction import Transaction
-
 from tests.helpers import drive_cluster as drive
+from tests.helpers import make_txn, quiesced_cluster
 
 
 def make_cluster(**overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="gem",
-        routing="affinity",
-        update_strategy="noforce",
-        gem_lock_authorizations=True,
-        arrival_rate_per_node=1e-6,
-        warmup_time=0.0,
-        measure_time=1.0,
-    )
-    defaults.update(overrides)
-    return Cluster(SystemConfig(**defaults))
-
-
-def make_txn(txn_id, node):
-    txn = Transaction(txn_id, [])
-    txn.node = node
-    return txn
+    overrides.setdefault("gem_lock_authorizations", True)
+    return quiesced_cluster(**overrides)
 
 
 PAGE = (0, 7)
@@ -110,14 +91,9 @@ class TestEndToEnd:
     def test_affinity_workload_eliminates_most_gem_traffic(self):
         from repro.system.runner import run_simulation
 
-        base = SystemConfig(
-            num_nodes=2,
-            coupling="gem",
-            routing="affinity",
-            update_strategy="noforce",
-            warmup_time=0.5,
-            measure_time=2.0,
-        )
+        from tests.helpers import system_config
+
+        base = system_config()
         plain = run_simulation(base)
         refined = run_simulation(base.replace(gem_lock_authorizations=True))
         assert refined.gem_utilization < plain.gem_utilization * 0.7

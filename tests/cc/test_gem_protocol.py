@@ -4,32 +4,19 @@ import pytest
 
 from repro.cc.base import PageSource
 from repro.errors import TransactionAborted
-from repro.system.cluster import Cluster
-from repro.system.config import SystemConfig
-from repro.workload.transaction import Transaction
+
+from tests.helpers import drive_cluster as drive
+from tests.helpers import make_txn as _make_txn
+from tests.helpers import quiesced_cluster
 
 
 def make_cluster(**overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="gem",
-        routing="random",
-        update_strategy="noforce",
-        arrival_rate_per_node=1e-6,  # quiesce the SOURCE
-        warmup_time=0.0,
-        measure_time=1.0,
-    )
-    defaults.update(overrides)
-    return Cluster(SystemConfig(**defaults))
+    overrides.setdefault("routing", "random")
+    return quiesced_cluster(**overrides)
 
 
 def make_txn(cluster, txn_id, node):
-    txn = Transaction(txn_id, [])
-    txn.node = node
-    return txn
-
-
-from tests.helpers import drive_cluster as drive
+    return _make_txn(txn_id, node)
 
 
 PAGE = (0, 7)

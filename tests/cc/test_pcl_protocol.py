@@ -3,31 +3,15 @@
 import pytest
 
 from repro.errors import TransactionAborted
-from repro.system.cluster import Cluster
-from repro.system.config import SystemConfig
-from repro.workload.transaction import PageAccess, Transaction
+from repro.workload.transaction import PageAccess
 
 from tests.helpers import drive_cluster as drive
+from tests.helpers import make_txn, quiesced_cluster
 
 
 def make_cluster(**overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="pcl",
-        routing="affinity",
-        update_strategy="noforce",
-        arrival_rate_per_node=1e-6,
-        warmup_time=0.0,
-        measure_time=1.0,
-    )
-    defaults.update(overrides)
-    return Cluster(SystemConfig(**defaults))
-
-
-def make_txn(txn_id, node):
-    txn = Transaction(txn_id, [])
-    txn.node = node
-    return txn
+    overrides.setdefault("coupling", "pcl")
+    return quiesced_cluster(**overrides)
 
 
 def settle(cluster, delay=0.1):

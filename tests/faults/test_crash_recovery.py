@@ -1,0 +1,107 @@
+"""End-to-end crash/failover/reintegration tests for both regimes.
+
+A clean completion of these runs is itself a strong check: the version
+ledger raises on any stale read, the fault manager raises if recovery
+leaves pages unredone, and the engine raises on unhandled process
+failures."""
+
+import pytest
+
+from repro.system.cluster import Cluster
+from repro.system.runner import run_simulation
+
+from tests.helpers import system_config
+
+
+def crash_config(**overrides):
+    overrides.setdefault("num_nodes", 3)
+    overrides.setdefault("arrival_rate_per_node", 60.0)
+    overrides.setdefault("warmup_time", 0.5)
+    overrides.setdefault("measure_time", 3.0)
+    overrides.setdefault(
+        "faults", {"crashes": [{"node": 1, "time": 1.0, "down_time": 0.8}]}
+    )
+    return system_config(**overrides)
+
+
+@pytest.mark.parametrize("coupling", ["gem", "pcl"])
+class TestCrashCycle:
+    def test_cycle_completes_and_is_accounted(self, coupling):
+        result = run_simulation(crash_config(coupling=coupling))
+        assert result.crashes == 1
+        # In-flight work on the victim died with it.
+        assert result.aborted_by_crash >= 1
+        # Arrivals for the dead node went to survivors while it was down.
+        assert result.arrivals_redirected >= 10
+        # Failover starts after the detection delay and does real work.
+        assert 0.01 < result.mean_failover_seconds < 0.8
+        # Reintegration includes at least the restart CPU (0.5 s at the
+        # default 5e6 instructions / 10 MIPS).
+        assert result.mean_reintegration_seconds == pytest.approx(0.5, abs=0.2)
+        # Down from the crash until marked up again (down_time 0.8 plus
+        # the restart CPU).
+        assert result.total_down_seconds == pytest.approx(1.3, abs=0.05)
+        # The system kept doing useful work throughout.
+        assert result.completed > 300
+
+    def test_deterministic_per_seed(self, coupling):
+        config = crash_config(coupling=coupling)
+        first = run_simulation(config).deterministic_dict()
+        second = run_simulation(config).deterministic_dict()
+        assert first == second
+
+    def test_different_seed_differs(self, coupling):
+        config = crash_config(coupling=coupling)
+        first = run_simulation(config)
+        second = run_simulation(config.replace(random_seed=7))
+        assert first.completed != second.completed
+
+
+class TestRegimeGap:
+    def test_gem_reintegrates_faster_than_pcl(self):
+        gem = run_simulation(crash_config(coupling="gem"))
+        pcl = run_simulation(crash_config(coupling="pcl"))
+        # GEM's reintegration is the restart CPU alone (the lock state
+        # survived in the non-volatile GEM); PCL additionally pays the
+        # GLA failback: dirty-page flush, lock-state transfer, and
+        # per-registration CPU.
+        assert gem.mean_reintegration_seconds < pcl.mean_reintegration_seconds
+
+
+class TestDisabled:
+    def test_no_fault_fields_without_faults(self):
+        result = run_simulation(system_config())
+        assert result.crashes == 0
+        assert result.aborted_by_crash == 0
+        assert result.arrivals_redirected == 0
+        assert result.mean_failover_seconds == 0.0
+        assert result.mean_reintegration_seconds == 0.0
+        assert result.total_down_seconds == 0.0
+
+
+class TestPostRecoveryInvariants:
+    @pytest.mark.parametrize("coupling", ["gem", "pcl"])
+    def test_no_dead_txn_lock_entries(self, coupling):
+        config = crash_config(coupling=coupling)
+        cluster = Cluster(config)
+        cluster.sim.run(until=config.warmup_time)
+        cluster.reset_stats()
+        cluster.sim.run(until=config.warmup_time + config.measure_time)
+
+        killed = {
+            txn.txn_id
+            for record in cluster.faults.records
+            for txn in record.killed
+        }
+        assert killed  # the crash caught work in flight
+        active = set()
+        for node in cluster.nodes:
+            active.update(node.tm.active)
+        for table in cluster.protocol.lock_tables():
+            for page, entry in table._entries.items():
+                for txn_id in entry.holders:
+                    assert txn_id not in killed, (page, txn_id)
+                    assert txn_id in active, (page, txn_id)
+                for request in entry.queue:
+                    assert request.txn not in killed, (page, request.txn)
+                    assert request.txn in active, (page, request.txn)

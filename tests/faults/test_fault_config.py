@@ -1,0 +1,70 @@
+"""Unit tests for the fault-injection configuration."""
+
+import pytest
+
+from repro.faults.config import CrashSpec, FaultConfig
+from repro.system.config import SystemConfig
+
+
+class TestCrashSpec:
+    def test_valid(self):
+        spec = CrashSpec(time=2.0, node=1, down_time=0.5)
+        assert (spec.time, spec.node, spec.down_time) == (2.0, 1, 0.5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSpec(time=-1.0, node=0, down_time=0.5)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSpec(time=1.0, node=-1, down_time=0.5)
+
+    def test_zero_down_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSpec(time=1.0, node=0, down_time=0.0)
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        assert not FaultConfig().enabled
+
+    def test_scripted_crashes_enable(self):
+        config = FaultConfig(crashes=[{"node": 0, "time": 1.0, "down_time": 0.5}])
+        assert config.enabled
+        # Dict specs are coerced to CrashSpec.
+        assert isinstance(config.crashes[0], CrashSpec)
+
+    def test_periodic_enables(self):
+        assert FaultConfig(mttf=100.0, mttr=1.0).enabled
+
+    def test_mttr_without_mttf_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(mttr=1.0)
+
+    def test_mttf_without_mttr_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(mttf=100.0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(mttf=-1.0)
+
+
+class TestSystemConfigEmbedding:
+    def test_dict_coerced(self):
+        config = SystemConfig(
+            num_nodes=2,
+            faults={"crashes": [{"node": 1, "time": 1.0, "down_time": 0.5}]},
+        )
+        assert isinstance(config.faults, FaultConfig)
+        assert config.faults.enabled
+
+    def test_crash_node_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                num_nodes=2,
+                faults={"crashes": [{"node": 2, "time": 1.0, "down_time": 0.5}]},
+            )
+
+    def test_none_by_default(self):
+        assert SystemConfig().faults is None

@@ -1,0 +1,159 @@
+"""Unit tests for the FaultManager primitives (liveness queries,
+reply watching, REDO fences, PCL partition gates) and the failover
+router, on a quiesced cluster."""
+
+import pytest
+
+from repro.routing.failover import FailoverRouter
+
+from tests.helpers import drive_cluster as drive
+from tests.helpers import quiesced_cluster
+
+#: A crash scheduled far beyond any test horizon: enables the fault
+#: subsystem without ever firing.
+FAR_CRASH = {"crashes": [{"node": 1, "time": 1e6, "down_time": 1.0}]}
+
+
+def make_cluster(**overrides):
+    overrides.setdefault("faults", FAR_CRASH)
+    return quiesced_cluster(**overrides)
+
+
+class TestWiring:
+    def test_fault_manager_built_when_enabled(self):
+        cluster = make_cluster()
+        assert cluster.faults is not None
+        assert isinstance(cluster.router, FailoverRouter)
+        assert cluster.source.router is cluster.router
+
+    def test_no_fault_manager_when_disabled(self):
+        cluster = quiesced_cluster()
+        assert cluster.faults is None
+        assert not isinstance(cluster.router, FailoverRouter)
+
+
+class TestLiveness:
+    def test_reroute_identity_when_up(self):
+        faults = make_cluster(num_nodes=3).faults
+        assert faults.reroute(1) == 1
+        assert faults.redirected_arrivals == 0
+
+    def test_reroute_next_surviving_node(self):
+        faults = make_cluster(num_nodes=3).faults
+        faults.down.add(1)
+        assert faults.reroute(1) == 2
+        assert faults.redirected_arrivals == 1
+
+    def test_reroute_wraps_around(self):
+        faults = make_cluster(num_nodes=3).faults
+        faults.down.update({1, 2})
+        assert faults.reroute(1) == 0
+
+    def test_coordinator_is_lowest_survivor(self):
+        faults = make_cluster(num_nodes=3).faults
+        assert faults.coordinator() == 0
+        faults.down.add(0)
+        assert faults.coordinator() == 1
+
+
+class TestReplyWatching:
+    def test_sentinel_immediate_for_down_destination(self):
+        cluster = make_cluster()
+        cluster.faults.down.add(1)
+        reply = cluster.sim.event()
+        cluster.faults.watch(1, reply)
+        assert reply.triggered
+        assert reply.value == {"crashed": True}
+
+    def test_sentinel_fired_on_crash(self):
+        cluster = make_cluster()
+        reply = cluster.sim.event()
+        cluster.faults.watch(1, reply)
+        assert not reply.triggered
+        cluster.faults._crash(1)
+        assert reply.triggered
+        assert reply.value == {"crashed": True}
+
+    def test_unwatch_removes_registration(self):
+        cluster = make_cluster()
+        reply = cluster.sim.event()
+        cluster.faults.watch(1, reply)
+        cluster.faults.unwatch(1, reply)
+        cluster.faults._crash(1)
+        assert not reply.triggered
+
+
+class TestRedoFence:
+    def test_wait_redo_blocks_until_done(self):
+        cluster = make_cluster()
+        faults = cluster.faults
+        page = (0, 7)
+        faults._pending_redo[page] = cluster.sim.event()
+        passed = []
+
+        def reader():
+            yield from faults.wait_redo(page)
+            passed.append(cluster.sim.now)
+
+        proc = cluster.sim.process(reader())
+        cluster.sim.run(until=0.5)
+        assert not passed and proc.is_alive
+        faults._redo_done(page)
+        cluster.sim.run(until=1.0)
+        assert passed
+
+    def test_wait_redo_noop_without_fence(self):
+        cluster = make_cluster()
+        value = drive(cluster, cluster.faults.wait_redo((0, 7)))
+        assert value is None
+
+
+class TestPartitionGates:
+    def test_resolve_waits_for_open(self):
+        cluster = make_cluster()
+        faults = cluster.faults
+        faults.close_partition(1)
+        resolved = []
+
+        def resolver():
+            host = yield from faults.resolve_gla(1)
+            resolved.append(host)
+
+        cluster.sim.process(resolver())
+        cluster.sim.run(until=0.5)
+        assert not resolved  # gated
+        faults.open_partition(1, 0)
+        cluster.sim.run(until=1.0)
+        assert resolved == [0]
+        assert faults.gla_host(1) == 0
+
+    def test_open_with_none_clears_override(self):
+        faults = make_cluster().faults
+        faults.close_partition(1)
+        faults.open_partition(1, 0)
+        faults.close_partition(1)
+        faults.open_partition(1, None)
+        assert faults.gla_host(1) == 1
+
+    def test_resolve_without_gate_is_home(self):
+        cluster = make_cluster()
+        assert drive(cluster, cluster.faults.resolve_gla(1)) == 1
+
+
+class TestSingleFailureGuard:
+    def test_overlapping_crash_skipped(self):
+        cluster = make_cluster(num_nodes=3)
+        faults = cluster.faults
+        faults.down.add(2)
+        drive(cluster, faults._cycle(1, 0.1))
+        assert faults.crashes_skipped == 1
+        assert 1 not in faults.down
+
+    def test_last_node_never_killed(self):
+        cluster = quiesced_cluster(
+            num_nodes=1,
+            faults={"crashes": [{"node": 0, "time": 0.1, "down_time": 0.5}]},
+        )
+        cluster.sim.run(until=1.0)
+        assert cluster.faults.crashes_skipped == 1
+        assert cluster.faults.crashes == 0

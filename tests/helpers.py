@@ -7,13 +7,15 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.db.pages import PageId, VersionLedger
-from repro.db.schema import Database, Partition
+from repro.db.schema import Database, Partition, StorageKind
 from repro.devices.disk import DiskArray
 from repro.devices.storage import StorageDirectory
 from repro.node.buffer_manager import BufferManager
 from repro.node.cpu import CpuPool
 from repro.obs.recorder import NULL_RECORDER
 from repro.sim import Simulator, StreamRegistry
+from repro.system.cluster import Cluster
+from repro.system.config import DebitCreditConfig, SystemConfig
 from repro.workload.transaction import PageAccess, Transaction
 
 
@@ -113,6 +115,60 @@ def drive_cluster(cluster, generator, horizon: float = 50.0):
     if "value" not in result and not process.triggered:
         raise AssertionError("driven process did not complete within horizon")
     return result.get("value")
+
+
+def system_config(**overrides) -> SystemConfig:
+    """Small 2-node GEM/affinity/NOFORCE config for short system runs.
+
+    The shared baseline for integration-style tests; override any
+    :class:`SystemConfig` field by keyword.
+    """
+    defaults = dict(
+        num_nodes=2,
+        coupling="gem",
+        routing="affinity",
+        update_strategy="noforce",
+        warmup_time=0.5,
+        measure_time=2.0,
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def quiesced_config(**overrides) -> SystemConfig:
+    """A config whose SOURCE is quiesced (near-zero arrival rate).
+
+    Protocol unit tests build a full cluster but drive transactions by
+    hand with :func:`drive_cluster`; the workload generator must not
+    interfere.
+    """
+    defaults = dict(
+        arrival_rate_per_node=1e-6,
+        warmup_time=0.0,
+        measure_time=1.0,
+    )
+    defaults.update(overrides)
+    return system_config(**defaults)
+
+
+def quiesced_cluster(**overrides) -> Cluster:
+    """A quiesced :class:`Cluster` -- see :func:`quiesced_config`."""
+    return Cluster(quiesced_config(**overrides))
+
+
+def bt_storage_config(
+    storage: StorageKind = StorageKind.DISK_GEM_WRITE_BUFFER, **overrides
+) -> SystemConfig:
+    """FORCE config with the BRANCH_TELLER partition on ``storage``
+    (the Fig 4.3 / 4.4 storage-allocation code paths)."""
+    defaults = dict(
+        routing="random",
+        update_strategy="force",
+        buffer_pages_per_node=1000,
+        debit_credit=DebitCreditConfig(branch_teller_storage=storage),
+    )
+    defaults.update(overrides)
+    return system_config(**defaults)
 
 
 def make_txn(txn_id: int = 1, node: int = 0) -> Transaction:

@@ -1,0 +1,105 @@
+"""Property-based invariants of the fault-injection subsystem.
+
+Each example runs a short full-system simulation -- with or without a
+randomly placed node crash -- and checks the invariants that must hold
+regardless of where the crash lands:
+
+* **No stale reads.**  The version ledger raises on any read of an
+  outdated page version, so a clean run is itself the assertion.
+* **Seqno monotonicity.**  Committed page versions sampled over time
+  never decrease, crash or no crash (recovery must never roll a page
+  back).
+* **No dead-transaction lock entries.**  After recovery, no lock table
+  holds an entry (granted or queued) for a transaction the crash
+  killed; every entry belongs to a live transaction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.cluster import Cluster
+
+from tests.helpers import system_config
+
+couplings = st.sampled_from(["gem", "pcl"])
+seeds = st.integers(min_value=0, max_value=2**16)
+crash_times = st.floats(min_value=0.3, max_value=1.0)
+down_times = st.floats(min_value=0.2, max_value=0.5)
+victims = st.integers(min_value=0, max_value=2)
+
+
+def run_and_check(coupling, seed, faults=None):
+    config = system_config(
+        num_nodes=3,
+        coupling=coupling,
+        arrival_rate_per_node=40.0,
+        warmup_time=0.2,
+        measure_time=1.2,
+        random_seed=seed,
+        faults=faults,
+    )
+    cluster = Cluster(config)
+    snapshots = []
+
+    def sampler():
+        while True:
+            snapshots.append(dict(cluster.ledger._committed))
+            yield cluster.sim.timeout(0.15)
+
+    cluster.sim.process(sampler(), name="ledger-sampler")
+    # A clean run is the no-stale-reads check: the ledger raises on
+    # any coherency violation, the engine on any unhandled failure.
+    cluster.sim.run(until=config.warmup_time + config.measure_time)
+
+    # Seqno monotonicity across snapshots.
+    for before, after in zip(snapshots, snapshots[1:]):
+        for page, version in before.items():
+            assert after.get(page, 0) >= version, page
+
+    # Lock tables reference only live transactions.
+    killed = set()
+    if cluster.faults is not None:
+        killed = {
+            txn.txn_id
+            for record in cluster.faults.records
+            for txn in record.killed
+        }
+    active = set()
+    for node in cluster.nodes:
+        active.update(node.tm.active)
+    for table in cluster.protocol.lock_tables():
+        for page, entry in table._entries.items():
+            for txn_id in entry.holders:
+                assert txn_id not in killed, (page, txn_id)
+                assert txn_id in active, (page, txn_id)
+            for request in entry.queue:
+                assert request.txn not in killed, (page, request.txn)
+                assert request.txn in active, (page, request.txn)
+    return cluster
+
+
+class TestFaultInvariants:
+    @given(coupling=couplings, seed=seeds)
+    @settings(max_examples=4, deadline=None)
+    def test_invariants_hold_without_crashes(self, coupling, seed):
+        cluster = run_and_check(coupling, seed)
+        assert cluster.faults is None
+
+    @given(
+        coupling=couplings,
+        seed=seeds,
+        node=victims,
+        crash_time=crash_times,
+        down_time=down_times,
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_invariants_hold_under_crash(
+        self, coupling, seed, node, crash_time, down_time
+    ):
+        faults = {
+            "crashes": [
+                {"node": node, "time": crash_time, "down_time": down_time}
+            ]
+        }
+        cluster = run_and_check(coupling, seed, faults=faults)
+        assert cluster.faults.crashes == 1

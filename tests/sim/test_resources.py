@@ -330,6 +330,48 @@ class TestCancel:
         sim.run()  # holder releases at t=10
         assert res.busy == 0
 
+    def test_waiter_killed_by_crash_leaves_resource_consistent(self, sim):
+        """Regression: a queued waiter interrupted by a node crash must
+        withdraw its request -- otherwise a later release grants the
+        unit to the dead event and it leaks forever."""
+        from repro.errors import NodeCrashed
+
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(2.0)
+            res.release()
+
+        def waiter():
+            try:
+                yield from res.acquire(1.0)
+            except NodeCrashed:
+                pass  # the crash teardown swallows it, as the TM does
+
+        sim.process(holder())
+        victim = sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length == 1
+        assert victim.interrupt(NodeCrashed(0))
+        sim.run(until=1.001)  # deliver the urgent interrupt throw
+        assert res.queue_length == 0  # request withdrawn
+        assert res.busy == 1  # holder still owns the unit
+
+        # The unit must still circulate: a fresh waiter gets it when
+        # the holder releases at t=2.
+        served = []
+
+        def successor():
+            yield from res.acquire(0.5)
+            served.append(sim.now)
+
+        sim.process(successor())
+        sim.run()
+        assert served == [pytest.approx(2.5)]
+        assert res.busy == 0
+        assert res.queue_length == 0
+
     def test_busy_time_integral(self, sim):
         res = Resource(sim, capacity=2)
 

@@ -7,11 +7,12 @@ from repro.devices.gem import GemDevice
 from repro.system.cluster import Cluster
 from repro.system.config import DebitCreditConfig, SystemConfig
 
+from tests.helpers import quiesced_config
+
 
 def quiet_config(**overrides):
-    defaults = dict(arrival_rate_per_node=1e-6, warmup_time=0.0, measure_time=1.0)
-    defaults.update(overrides)
-    return SystemConfig(**defaults)
+    overrides.setdefault("num_nodes", 1)  # the SystemConfig default
+    return quiesced_config(**overrides)
 
 
 class TestTopology:

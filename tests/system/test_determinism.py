@@ -1,0 +1,80 @@
+"""Cross-process determinism of simulation results.
+
+Same-process replays are checked elsewhere (test_end_to_end, the
+goldens); these tests pin down the stronger guarantee the result cache
+and the parallel sweep runner rely on: a ``(config, seed)`` pair must
+produce a byte-identical deterministic result JSON in *any* process --
+fresh interpreters, and any worker-pool size.  The configuration
+includes a scripted node crash so the fault-injection and recovery
+paths are covered by the guarantee too.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+from repro.system.parallel import SweepRunner
+
+from tests.helpers import system_config
+
+#: Built inside the test *and* inside fresh interpreters; keep it a
+#: plain kwargs dict so both sides construct the identical config.
+CONFIG_KWARGS = dict(
+    num_nodes=3,
+    coupling="pcl",
+    arrival_rate_per_node=50.0,
+    warmup_time=0.3,
+    measure_time=1.2,
+    faults={"crashes": [{"node": 1, "time": 0.6, "down_time": 0.3}]},
+)
+
+_CHILD_SCRIPT = """\
+import json, sys
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+kwargs = json.loads(sys.argv[1])
+defaults = dict(num_nodes=2, coupling="gem", routing="affinity",
+                update_strategy="noforce", warmup_time=0.5, measure_time=2.0)
+defaults.update(kwargs)
+result = run_simulation(SystemConfig(**defaults))
+sys.stdout.write(json.dumps(result.deterministic_dict(),
+                            sort_keys=True, default=str))
+"""
+
+
+def run_in_fresh_process() -> bytes:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env.pop("PYTHONHASHSEED", None)  # determinism must not rely on it
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, json.dumps(CONFIG_KWARGS)],
+        capture_output=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+class TestCrossProcess:
+    def test_fresh_interpreters_agree_byte_for_byte(self):
+        first = run_in_fresh_process()
+        second = run_in_fresh_process()
+        assert first, "child produced no output"
+        assert first == second
+
+    def test_jobs_one_and_four_agree(self):
+        config = system_config(**CONFIG_KWARGS)
+        with SweepRunner(jobs=1, seeds=2) as serial:
+            a = serial.run(config)
+        with SweepRunner(jobs=4, seeds=2) as pool:
+            b = pool.run(config)
+        assert a.seeds == b.seeds
+        for x, y in zip(a.results, b.results):
+            assert x.deterministic_dict() == y.deterministic_dict()

@@ -8,21 +8,10 @@ determinism, and the paper's qualitative results at reduced scale.
 import pytest
 
 from repro.system.cluster import Cluster
-from repro.system.config import SystemConfig, TraceWorkloadConfig
+from repro.system.config import TraceWorkloadConfig
 from repro.system.runner import run_simulation
 
-
-def short_config(**overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="gem",
-        routing="affinity",
-        update_strategy="noforce",
-        warmup_time=0.5,
-        measure_time=2.0,
-    )
-    defaults.update(overrides)
-    return SystemConfig(**defaults)
+from tests.helpers import system_config as short_config
 
 
 class TestConservation:

@@ -1,21 +1,9 @@
 """Tests for the GEM-resident log (section 2 usage form)."""
 
 from repro.system.cluster import Cluster
-from repro.system.config import SystemConfig
 from repro.system.runner import run_simulation
 
-
-def config(**overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="gem",
-        routing="affinity",
-        update_strategy="noforce",
-        warmup_time=0.5,
-        measure_time=2.0,
-    )
-    defaults.update(overrides)
-    return SystemConfig(**defaults)
+from tests.helpers import system_config as config
 
 
 class TestLogInGem:

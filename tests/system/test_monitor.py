@@ -3,21 +3,15 @@
 import pytest
 
 from repro.system.cluster import Cluster
-from repro.system.config import SystemConfig
 from repro.system.monitor import TimeSeriesMonitor
+
+from tests.helpers import system_config
 
 
 def make_cluster(**overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="gem",
-        routing="affinity",
-        update_strategy="noforce",
-        warmup_time=0.0,
-        measure_time=1.0,
-    )
-    defaults.update(overrides)
-    return Cluster(SystemConfig(**defaults))
+    overrides.setdefault("warmup_time", 0.0)
+    overrides.setdefault("measure_time", 1.0)
+    return Cluster(system_config(**overrides))
 
 
 class TestMonitor:

@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro.sim.rng import replicate_seed
-from repro.system.config import SystemConfig
 from repro.system.parallel import (
     ReplicatedResult,
     ReplicateStats,
@@ -17,17 +16,14 @@ from repro.system.parallel import (
 from repro.system.results import RunResult
 
 
+from tests.helpers import system_config
+
+
 def small_config(**overrides):
-    defaults = dict(
-        num_nodes=1,
-        coupling="gem",
-        routing="affinity",
-        update_strategy="noforce",
-        warmup_time=0.3,
-        measure_time=1.0,
-    )
-    defaults.update(overrides)
-    return SystemConfig(**defaults)
+    overrides.setdefault("num_nodes", 1)
+    overrides.setdefault("warmup_time", 0.3)
+    overrides.setdefault("measure_time", 1.0)
+    return system_config(**overrides)
 
 
 class TestReplicateSeeds:

@@ -3,22 +3,15 @@
 import pytest
 
 from repro.errors import UtilizationTargetError
-from repro.system.config import SystemConfig
 from repro.system.parallel import SweepRunner
 from repro.system.runner import find_throughput_at_utilization, run_simulation
 
+from tests.helpers import system_config
+
 
 def small_config(**overrides):
-    defaults = dict(
-        num_nodes=1,
-        coupling="gem",
-        routing="affinity",
-        update_strategy="noforce",
-        warmup_time=0.5,
-        measure_time=2.0,
-    )
-    defaults.update(overrides)
-    return SystemConfig(**defaults)
+    overrides.setdefault("num_nodes", 1)
+    return system_config(**overrides)
 
 
 class TestRunSimulation:

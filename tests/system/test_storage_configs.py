@@ -5,23 +5,9 @@ import pytest
 
 from repro.db.schema import StorageKind
 from repro.system.cluster import Cluster
-from repro.system.config import DebitCreditConfig, SystemConfig
 from repro.system.runner import run_simulation
 
-
-def config_with_bt_storage(storage, **overrides):
-    defaults = dict(
-        num_nodes=2,
-        coupling="gem",
-        routing="random",
-        update_strategy="force",
-        buffer_pages_per_node=1000,
-        debit_credit=DebitCreditConfig(branch_teller_storage=storage),
-        warmup_time=0.5,
-        measure_time=2.0,
-    )
-    defaults.update(overrides)
-    return SystemConfig(**defaults)
+from tests.helpers import bt_storage_config as config_with_bt_storage
 
 
 class TestGemResidentPartition:
