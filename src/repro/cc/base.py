@@ -10,11 +10,15 @@ version can be obtained if the local copy is missing or stale
 from __future__ import annotations
 
 import enum
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Sequence, TYPE_CHECKING
 
 from repro.db.pages import PageId
 from repro.sim.engine import Event
 from repro.workload.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.manager import CrashRecord, FaultManager
+    from repro.node.lock_table import LockTable
 
 __all__ = ["PageSource", "LockGrant", "CCProtocol"]
 
@@ -42,7 +46,7 @@ class LockGrant:
         owner_node: Optional[int] = None,
         local: bool = True,
         page_supplied: bool = False,
-    ):
+    ) -> None:
         #: Current (committed) page sequence number.
         self.seqno = seqno
         #: Where to obtain the page on a buffer miss or invalidation.
@@ -116,12 +120,12 @@ class CCProtocol:
     # nothing, so protocols without special failure handling keep
     # working (the generic teardown in the manager is still applied).
 
-    def lock_tables(self):
+    def lock_tables(self) -> Sequence["LockTable"]:
         """All lock tables the protocol maintains (crash cleanup scans
         them for queued requests of transactions killed by a crash)."""
         return ()
 
-    def crash_node(self, faults, record) -> None:
+    def crash_node(self, faults: "FaultManager", record: "CrashRecord") -> None:
         """Synchronous protocol bookkeeping at the instant of a crash.
 
         Runs inside the crash event, before any other process can
@@ -130,7 +134,9 @@ class CCProtocol:
         pages whose only current copy died with the node.
         """
 
-    def recover(self, faults, record) -> Generator[Event, Any, None]:
+    def recover(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
         """Replay the regime's failover protocol (takes simulated time).
 
         When this generator finishes, surviving nodes must be able to
@@ -139,7 +145,9 @@ class CCProtocol:
         return
         yield  # pragma: no cover - makes this a generator
 
-    def reintegrate(self, faults, record) -> Generator[Event, Any, None]:
+    def reintegrate(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
         """Bring the restarted node back into the protocol.
 
         Runs after the node has been marked up again and has paid its

@@ -26,7 +26,7 @@ __all__ = ["DeadlockDetector"]
 class DeadlockDetector:
     """System-wide waits-for graph and victim selection."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         # txn -> (lock table it waits in, abort callback)
         self._blocked: Dict[int, Tuple[LockTable, Callable[[], None]]] = {}
         self.deadlocks_detected = 0
@@ -104,7 +104,10 @@ class DeadlockDetector:
         def dfs(txn: int) -> Optional[List[int]]:
             path.append(txn)
             on_path.add(txn)
-            for blocker in self._edges_from(txn):
+            # Sorted so the DFS -- and therefore victim selection when a
+            # transaction participates in several cycles -- does not
+            # depend on set iteration order.
+            for blocker in sorted(self._edges_from(txn)):
                 if blocker == start:
                     return list(path)
                 if blocker in on_path:

@@ -22,9 +22,14 @@ table (GLT)** stored in Global Extended Memory (section 3.2):
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, TYPE_CHECKING
+from typing import Any, Generator, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.cc.base import CCProtocol, LockGrant, PageSource
+from repro.cc.messages import (
+    GltRevokePayload,
+    PageRequestPayload,
+    PageResponsePayload,
+)
 from repro.db.pages import PageId
 from repro.errors import TransactionAborted
 from repro.obs import phases
@@ -34,6 +39,8 @@ from repro.sim.stats import Tally
 from repro.workload.transaction import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.manager import CrashRecord, FaultManager
+    from repro.node.node import Node
     from repro.system.cluster import Cluster
 
 __all__ = ["GemLockingProtocol"]
@@ -44,7 +51,7 @@ class GemLockingProtocol(CCProtocol):
 
     name = "gem"
 
-    def __init__(self, cluster: "Cluster"):
+    def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = cluster.config
@@ -78,7 +85,7 @@ class GemLockingProtocol(CCProtocol):
         """
         cpu = self.cluster.nodes[node_id].cpu
         with self.recorder.span(txn_id, phases.GEM):
-            yield cpu.request()
+            yield from cpu.grab()
             try:
                 yield cpu.busy_work(count * self.config.instructions_per_gem_entry_op)
                 yield from self.gem.access_entries(count)
@@ -110,7 +117,7 @@ class GemLockingProtocol(CCProtocol):
             # (grant registered, or wait registered on conflict).
             yield from self._entry_ops(node_id, 2, txn_id=txn.txn_id)
             if self.config.gem_lock_authorizations:
-                holder = next(iter(self.glt.entry(page).auth_nodes), None)
+                holder = min(self.glt.entry(page).auth_nodes, default=None)
                 if holder is not None and holder != node_id:
                     with self.recorder.span(txn.txn_id, phases.COMM):
                         yield from self._revoke_authorization(node, page, holder)
@@ -183,11 +190,12 @@ class GemLockingProtocol(CCProtocol):
                 faults = self.cluster.faults
                 if faults is not None:
                     faults.watch(grant.owner_node, reply)
-                yield from node.comm.send(
-                    grant.owner_node,
-                    "page_req",
-                    {"page": page, "reply": reply, "requester": txn.node},
-                )
+                request: PageRequestPayload = {
+                    "page": page,
+                    "reply": reply,
+                    "requester": txn.node,
+                }
+                yield from node.comm.send(grant.owner_node, "page_req", request)
                 payload = yield reply
                 if faults is not None:
                     faults.unwatch(grant.owner_node, reply)
@@ -202,7 +210,7 @@ class GemLockingProtocol(CCProtocol):
         return version
 
     def _revoke_authorization(
-        self, node, page: PageId, holder: int
+        self, node: "Node", page: PageId, holder: int
     ) -> Generator[Event, Any, None]:
         """Another node holds the lock authorization: revoke it.
 
@@ -217,17 +225,20 @@ class GemLockingProtocol(CCProtocol):
             # A crash of the holder clears its authorization in
             # crash_node; answer the ack so the requester proceeds.
             faults.watch(holder, ack)
-        yield from node.comm.send(
-            holder,
-            "glt_revoke",
-            {"page": page, "ack": ack, "requester": node.node_id},
-        )
+        revoke: GltRevokePayload = {
+            "page": page,
+            "ack": ack,
+            "requester": node.node_id,
+        }
+        yield from node.comm.send(holder, "glt_revoke", revoke)
         yield ack
         if faults is not None:
             faults.unwatch(holder, ack)
         yield from self._entry_ops(node.node_id, 1)
 
-    def _handle_authorization_revoke(self, node: "Node", payload: dict):
+    def _handle_authorization_revoke(
+        self, node: "Node", payload: Mapping[str, Any]
+    ) -> Generator[Event, Any, None]:
         page = payload["page"]
         node.gem_auth.discard(page)
         entry = self.glt.peek(page)
@@ -239,15 +250,18 @@ class GemLockingProtocol(CCProtocol):
             payload["requester"], "glt_revoke_ack", {}, reply_event=payload["ack"]
         )
 
-    def _handle_page_request(self, node: "Node", payload: dict):
+    def _handle_page_request(
+        self, node: "Node", payload: Mapping[str, Any]
+    ) -> Generator[Event, Any, None]:
         """Owner-side handler: return the buffered page, if still owned."""
         page = payload["page"]
         reply: Event = payload["reply"]
         version = node.buffer.cached_version(page)
+        response: PageResponsePayload = {"version": version}
         yield from node.comm.send(
             payload["requester"],
             "page_rsp",
-            {"version": version},
+            response,
             long=version is not None,
             reply_event=reply,
         )
@@ -269,7 +283,7 @@ class GemLockingProtocol(CCProtocol):
             return None
         # Owner side: initiate + write page to GEM (charged to owner).
         owner_cpu = owner_node.cpu
-        yield owner_cpu.request()
+        yield from owner_cpu.grab()
         try:
             yield owner_cpu.busy_work(self.config.instructions_per_gem_io)
             yield from self.gem.access_page()
@@ -277,7 +291,7 @@ class GemLockingProtocol(CCProtocol):
             owner_cpu.release()
         # Requester side: read page from GEM.
         cpu = self.cluster.nodes[txn.node].cpu
-        yield cpu.request()
+        yield from cpu.grab()
         try:
             yield cpu.busy_work(self.config.instructions_per_gem_io)
             yield from self.gem.access_page()
@@ -342,10 +356,10 @@ class GemLockingProtocol(CCProtocol):
 
     # -- fault injection -----------------------------------------------------
 
-    def lock_tables(self):
+    def lock_tables(self) -> Tuple[LockTable, ...]:
         return (self.glt,)
 
-    def crash_node(self, faults, record) -> None:
+    def crash_node(self, faults: "FaultManager", record: "CrashRecord") -> None:
         """Synchronous teardown: the node's lock authorizations die.
 
         The GLT itself lives in non-volatile GEM and survives -- that
@@ -358,7 +372,9 @@ class GemLockingProtocol(CCProtocol):
             for entry in self.glt._entries.values():
                 entry.auth_nodes.discard(record.node)
 
-    def recover(self, faults, record) -> Generator[Event, Any, None]:
+    def recover(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
         """Failover with a surviving GLT: release the dead node's locks.
 
         The coordinator scans the (intact) GLT for locks held by the

@@ -1,0 +1,143 @@
+"""Typed wire formats of the inter-node protocol messages.
+
+Every payload travelling through :class:`repro.node.comm.Message` is a
+plain dict (messages must stay cheap and the simulator never
+serializes them), but each message kind has a fixed shape.  The
+:class:`~typing.TypedDict` declarations below are that shape: they are
+used at the construction sites so that a field rename or type change
+in one protocol surfaces as a type error instead of a ``KeyError`` in
+a handler at simulation time.
+
+Handlers receive ``Mapping[str, Any]`` (a handler registered for one
+kind only ever sees that kind's payload; the mapping type keeps the
+:class:`MessageHandler` protocol uniform across kinds).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    TYPE_CHECKING,
+    TypedDict,
+)
+
+from repro.db.pages import PageId
+from repro.node.lock_table import LockMode
+from repro.sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.node.node import Node
+
+__all__ = [
+    "MessageHandler",
+    "LockRequestPayload",
+    "LockResponsePayload",
+    "ReleasePayload",
+    "RevokePayload",
+    "AckPayload",
+    "PageRequestPayload",
+    "PageResponsePayload",
+    "GltRevokePayload",
+    "GlaTransferPayload",
+]
+
+
+class MessageHandler(Protocol):
+    """A registered consumer of one message kind (runs as a process)."""
+
+    def __call__(
+        self, node: "Node", payload: Mapping[str, Any]
+    ) -> Generator[Event, Any, None]: ...
+
+
+# -- primary copy locking (PCL) ----------------------------------------
+
+
+class LockRequestPayload(TypedDict):
+    """``lock_req``: remote lock acquisition at the page's GLA."""
+
+    txn_id: int
+    page: PageId
+    mode: LockMode
+    home: int
+    #: Version of the requester's buffered copy (None: not cached);
+    #: lets the GLA decide whether to ship the page with the grant.
+    cached_version: Optional[int]
+    requester: int
+    reply: Event
+
+
+class LockResponsePayload(TypedDict, total=False):
+    """``lock_rsp``: grant (seqno/supplied/auth) or abort notice."""
+
+    aborted: bool
+    seqno: int
+    #: The current page version travels with this (long) message.
+    supplied: bool
+    #: A local read authorization was granted alongside the S lock.
+    auth: bool
+
+
+class ReleasePayload(TypedDict):
+    """``release``: locks of one transaction returned to the GLA."""
+
+    txn_id: int
+    #: ``(page, new_version)`` pairs; the version is None unless the
+    #: release publishes a committed update (NOFORCE page carry).
+    pages: List[Tuple[PageId, Optional[int]]]
+    #: True when modified pages ride along (makes the message long).
+    carry_pages: bool
+    home: int
+
+
+class RevokePayload(TypedDict):
+    """``revoke``: GLA tells a node to drop a read authorization."""
+
+    page: PageId
+    ack: Event
+    gla: int
+
+
+class AckPayload(TypedDict):
+    """``revoke_ack`` / ``glt_revoke_ack``: empty acknowledgement."""
+
+
+# -- GEM locking --------------------------------------------------------
+
+
+class PageRequestPayload(TypedDict):
+    """``page_req``: fetch a dirty page from its owner's buffer."""
+
+    page: PageId
+    reply: Event
+    requester: int
+
+
+class PageResponsePayload(TypedDict):
+    """``page_rsp``: the owner's buffered version (None: lapsed)."""
+
+    version: Optional[int]
+
+
+class GltRevokePayload(TypedDict):
+    """``glt_revoke``: revoke a node's GLT lock authorization."""
+
+    page: PageId
+    ack: Event
+    requester: int
+
+
+# -- fault handling ----------------------------------------------------
+
+
+class GlaTransferPayload(TypedDict):
+    """``gla_failover`` / ``gla_state`` / ``gla_failback``: GLA
+    partition hand-over during failover and failback."""
+
+    home: int

@@ -33,18 +33,36 @@ charged when an X lock is granted over outstanding authorizations.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.cc.base import CCProtocol, LockGrant, PageSource
+from repro.cc.messages import (
+    GlaTransferPayload,
+    LockRequestPayload,
+    LockResponsePayload,
+    ReleasePayload,
+    RevokePayload,
+)
 from repro.db.pages import PageId
 from repro.errors import TransactionAborted
 from repro.obs import phases
-from repro.node.lock_table import LockMode, LockTable
+from repro.node.lock_table import LockEntry, LockMode, LockTable
 from repro.sim.engine import Event
 from repro.sim.stats import Tally
 from repro.workload.transaction import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.manager import CrashRecord, FaultManager
     from repro.node.node import Node
     from repro.system.cluster import Cluster
 
@@ -61,7 +79,7 @@ class PrimaryCopyProtocol(CCProtocol):
 
     name = "pcl"
 
-    def __init__(self, cluster: "Cluster", gla_map: Callable[[PageId], int]):
+    def __init__(self, cluster: "Cluster", gla_map: Callable[[PageId], int]) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = cluster.config
@@ -206,20 +224,17 @@ class PrimaryCopyProtocol(CCProtocol):
         # The whole round trip is message/comm delay from the
         # requester's point of view; the GLA-side lock wait (if any) is
         # re-attributed to LOCK_GLOBAL by the handler's inner span.
+        request: LockRequestPayload = {
+            "txn_id": txn.txn_id,
+            "page": page,
+            "mode": mode,
+            "home": home,
+            "cached_version": cached_version,
+            "requester": txn.node,
+            "reply": reply,
+        }
         with self.recorder.span(txn.txn_id, phases.COMM):
-            yield from node.comm.send(
-                host,
-                "lock_req",
-                {
-                    "txn_id": txn.txn_id,
-                    "page": page,
-                    "mode": mode,
-                    "home": home,
-                    "cached_version": cached_version,
-                    "requester": txn.node,
-                    "reply": reply,
-                },
-            )
+            yield from node.comm.send(host, "lock_req", request)
             payload = yield reply
         if faults is not None:
             faults.unwatch(host, reply)
@@ -245,7 +260,9 @@ class PrimaryCopyProtocol(CCProtocol):
             )
         return LockGrant(seqno, source=PageSource.STORAGE, local=False)
 
-    def _handle_lock_request(self, node: "Node", payload: Dict[str, Any]):
+    def _handle_lock_request(
+        self, node: "Node", payload: Mapping[str, Any]
+    ) -> Generator[Event, Any, None]:
         """GLA-side processing of a remote lock request."""
         txn_id = payload["txn_id"]
         page = payload["page"]
@@ -260,8 +277,9 @@ class PrimaryCopyProtocol(CCProtocol):
                 txn_id, table, page, mode, phase=phases.LOCK_GLOBAL
             )
         except TransactionAborted:
+            refusal: LockResponsePayload = {"aborted": True}
             yield from node.comm.send(
-                requester, "lock_rsp", {"aborted": True}, reply_event=reply
+                requester, "lock_rsp", refusal, reply_event=reply
             )
             return
         entry = table.entry(page)
@@ -281,12 +299,13 @@ class PrimaryCopyProtocol(CCProtocol):
         auth = self.config.pcl_read_optimization and mode is LockMode.SHARED
         if auth:
             entry.auth_nodes.add(requester)
+        grant: LockResponsePayload = {
+            "seqno": seqno,
+            "supplied": supplied,
+            "auth": auth,
+        }
         yield from node.comm.send(
-            requester,
-            "lock_rsp",
-            {"seqno": seqno, "supplied": supplied, "auth": auth},
-            long=supplied,
-            reply_event=reply,
+            requester, "lock_rsp", grant, long=supplied, reply_event=reply
         )
 
     def _table_request(
@@ -327,7 +346,7 @@ class PrimaryCopyProtocol(CCProtocol):
     # -- read-authorization revocation ---------------------------------------
 
     def _revoke_authorizations(
-        self, gla_node: "Node", page: PageId, entry, requester: int
+        self, gla_node: "Node", page: PageId, entry: LockEntry, requester: int
     ) -> Generator[Event, Any, None]:
         """Charge revoke/ack exchanges for outstanding authorizations.
 
@@ -336,7 +355,7 @@ class PrimaryCopyProtocol(CCProtocol):
         readers happened in the table); what remains is the message
         cost of invalidating the authorizations.
         """
-        targets = [n for n in entry.auth_nodes if n != requester]
+        targets = sorted(n for n in entry.auth_nodes if n != requester)
         if not targets:
             return
         faults = self.cluster.faults
@@ -348,9 +367,12 @@ class PrimaryCopyProtocol(CCProtocol):
                 # A crashing holder loses its authorization anyway; the
                 # sentinel stands in for its ack.
                 faults.watch(target, ack)
-            yield from gla_node.comm.send(
-                target, "revoke", {"page": page, "ack": ack, "gla": gla_node.node_id}
-            )
+            revoke: RevokePayload = {
+                "page": page,
+                "ack": ack,
+                "gla": gla_node.node_id,
+            }
+            yield from gla_node.comm.send(target, "revoke", revoke)
             acks.append((target, ack))
         yield self.sim.all_of([ack for _target, ack in acks])
         if faults is not None:
@@ -358,7 +380,9 @@ class PrimaryCopyProtocol(CCProtocol):
                 faults.unwatch(target, ack)
         entry.auth_nodes.difference_update(targets)
 
-    def _handle_revoke(self, node: "Node", payload: Dict[str, Any]):
+    def _handle_revoke(
+        self, node: "Node", payload: Mapping[str, Any]
+    ) -> Generator[Event, Any, None]:
         """Authorization-holder side: drop the authorization and ack."""
         node.auth_cache.pop(payload["page"], None)
         yield from node.comm.send(
@@ -410,17 +434,13 @@ class PrimaryCopyProtocol(CCProtocol):
                 # responsibility -- the GLA becomes the owner.
                 for page, version in modified:
                     node.buffer.mark_clean(page, version)
-            yield from node.comm.send(
-                host,
-                "release",
-                {
-                    "txn_id": txn.txn_id,
-                    "pages": pages,
-                    "carry_pages": long,
-                    "home": home,
-                },
-                long=long,
-            )
+            release: ReleasePayload = {
+                "txn_id": txn.txn_id,
+                "pages": pages,
+                "carry_pages": long,
+                "home": home,
+            }
+            yield from node.comm.send(host, "release", release, long=long)
 
     def _apply_release(
         self, txn_id: int, page: PageId, new_version: Optional[int], home: int
@@ -432,7 +452,9 @@ class PrimaryCopyProtocol(CCProtocol):
             entry.seqno = new_version
         table.release(txn_id, page)
 
-    def _handle_release(self, node: "Node", payload: Dict[str, Any]):
+    def _handle_release(
+        self, node: "Node", payload: Mapping[str, Any]
+    ) -> Generator[Event, Any, None]:
         """GLA-side processing of a (possibly page-carrying) release."""
         txn_id = payload["txn_id"]
         home = payload.get("home", node.node_id)
@@ -462,7 +484,9 @@ class PrimaryCopyProtocol(CCProtocol):
 
     # -- hooks ------------------------------------------------------------------
 
-    def request_page_from_owner(self, txn, page, grant):  # pragma: no cover
+    def request_page_from_owner(
+        self, txn: Transaction, page: PageId, grant: LockGrant
+    ) -> Generator[Event, Any, Optional[int]]:  # pragma: no cover
         raise RuntimeError("PCL never fetches pages from an owner node")
         yield  # unreachable; makes this a generator
 
@@ -475,10 +499,10 @@ class PrimaryCopyProtocol(CCProtocol):
 
     # -- fault injection -----------------------------------------------------
 
-    def lock_tables(self):
+    def lock_tables(self) -> Tuple[LockTable, ...]:
         return tuple(self.tables)
 
-    def crash_node(self, faults, record) -> None:
+    def crash_node(self, faults: "FaultManager", record: "CrashRecord") -> None:
         """Synchronous teardown: the dead node's GLA partition is fenced.
 
         The dead node's lock table and buffer were volatile, so loose
@@ -526,7 +550,9 @@ class PrimaryCopyProtocol(CCProtocol):
                 continue
             record.lost[page] = committed
 
-    def _partition_snapshot(self, faults, home: int):
+    def _partition_snapshot(
+        self, faults: "FaultManager", home: int
+    ) -> List[Tuple[int, PageId, LockMode]]:
         """Lock registrations of surviving transactions for ``home``.
 
         Deterministic order: by node, transaction, page.  Valid while
@@ -545,7 +571,9 @@ class PrimaryCopyProtocol(CCProtocol):
                         )
         return registrations
 
-    def recover(self, faults, record) -> Generator[Event, Any, None]:
+    def recover(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
         """PCL failover: reassign the GLA and rebuild its lock table.
 
         The replacement (lowest surviving node) announces the failover,
@@ -567,13 +595,14 @@ class PrimaryCopyProtocol(CCProtocol):
             for n in cluster.nodes
             if n.node_id != home and not faults.is_down(n.node_id)
         ]
+        transfer: GlaTransferPayload = {"home": home}
         # 1. Failover announcement (delivery-confirmed short messages).
         for survivor in survivors:
             if survivor.node_id == repl:
                 continue
             notice = self.sim.event()
             yield from repl_node.comm.send(
-                survivor.node_id, "gla_failover", {"home": home}, reply_event=notice
+                survivor.node_id, "gla_failover", transfer, reply_event=notice
             )
             yield notice
         # 2. Release what the dead node's transactions held at surviving
@@ -602,7 +631,7 @@ class PrimaryCopyProtocol(CCProtocol):
                 continue
             done = self.sim.event()
             yield from survivor.comm.send(
-                repl, "gla_state", {"home": home}, long=True, reply_event=done
+                repl, "gla_state", transfer, long=True, reply_event=done
             )
             yield done
         if registrations:
@@ -622,7 +651,9 @@ class PrimaryCopyProtocol(CCProtocol):
         self.tables[home] = table
         faults.open_partition(home, repl)
 
-    def reintegrate(self, faults, record) -> Generator[Event, Any, None]:
+    def reintegrate(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
         """GLA failback: move the partition back to the restarted node.
 
         The partition is fenced again; the interim host flushes its
@@ -671,8 +702,9 @@ class PrimaryCopyProtocol(CCProtocol):
                 dones.append(done)
             yield self.sim.all_of(dones)
         done = self.sim.event()
+        failback: GlaTransferPayload = {"home": home}
         yield from host_node.comm.send(
-            home, "gla_failback", {"home": home}, long=True, reply_event=done
+            home, "gla_failback", failback, long=True, reply_event=done
         )
         yield done
         table = self.tables[home]
@@ -685,7 +717,9 @@ class PrimaryCopyProtocol(CCProtocol):
             )
         faults.open_partition(home, None)
 
-    def _failback_flush(self, page, version, node, done):
+    def _failback_flush(
+        self, page: PageId, version: int, node: "Node", done: Event
+    ) -> Generator[Event, Any, None]:
         yield from self.cluster.storage.write(page, version, node.cpu)
         node.buffer.mark_clean(page, version)
         done.succeed()

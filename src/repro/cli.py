@@ -55,10 +55,10 @@ def _parse_fault_spec(text: str):
     try:
         node, time, down = text.split(":")
         return {"node": int(node), "time": float(time), "down_time": float(down)}
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"--faults expects NODE:TIME:DOWN, got {text!r}"
-        )
+        ) from exc
 
 
 def _positive_int(text: str) -> int:

@@ -90,7 +90,7 @@ class StorageDirectory:
             yield from self.faults.wait_redo(page)
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
-            yield cpu.request()
+            yield from cpu.grab()
             try:
                 yield cpu.busy_work(self.instructions_per_gem_io)
                 yield from backend.access_page()
@@ -111,7 +111,7 @@ class StorageDirectory:
         """
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
-            yield cpu.request()
+            yield from cpu.grab()
             try:
                 yield cpu.busy_work(self.instructions_per_gem_io)
                 yield from backend.access_page()
@@ -124,7 +124,7 @@ class StorageDirectory:
         if write_buffer is not None:
             # GEM write buffer: the write is durable after a synchronous
             # GEM page access; the disk copy is updated asynchronously.
-            yield cpu.request()
+            yield from cpu.grab()
             try:
                 yield cpu.busy_work(self.instructions_per_gem_io)
                 yield from write_buffer.access_page()
@@ -149,7 +149,7 @@ class StorageDirectory:
         node's log -- charged to the recovering node's CPU.
         """
         if self._log_gem is not None:
-            yield cpu.request()
+            yield from cpu.grab()
             try:
                 yield cpu.busy_work(self.instructions_per_gem_io)
                 yield from self._log_gem.access_page()
@@ -168,7 +168,7 @@ class StorageDirectory:
         durable and more than two orders of magnitude faster).
         """
         if self._log_gem is not None:
-            yield cpu.request()
+            yield from cpu.grab()
             try:
                 yield cpu.busy_work(self.instructions_per_gem_io)
                 yield from self._log_gem.access_page()

@@ -13,6 +13,8 @@ FORCE/NOFORCE gap widens under random routing.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig
 from repro.system.parallel import SweepRunner
@@ -29,7 +31,7 @@ def base_config() -> SystemConfig:
     )
 
 
-def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
     specs = []
     for routing in ("affinity", "random"):
         for update in ("noforce", "force"):

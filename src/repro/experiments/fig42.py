@@ -12,6 +12,8 @@ FORCE (misses turn into fast page requests instead of disk reads).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig
 from repro.system.parallel import SweepRunner
@@ -19,7 +21,7 @@ from repro.system.parallel import SweepRunner
 __all__ = ["run"]
 
 
-def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
     specs = []
     for buffer_pages in (200, 1000):
         for update in ("noforce", "force"):

@@ -12,6 +12,8 @@ affinity-based routing.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.db.schema import StorageKind
 from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import DebitCreditConfig, SystemConfig
@@ -32,7 +34,7 @@ def config_for(update, routing, storage, scale) -> SystemConfig:
     )
 
 
-def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
     specs = []
     for update in ("noforce", "force"):
         for routing in ("affinity", "random"):

@@ -15,6 +15,8 @@ routing (no misses at buffer 1000).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.db.schema import StorageKind
 from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import DebitCreditConfig, SystemConfig
@@ -30,7 +32,7 @@ STORAGE_KINDS = (
 )
 
 
-def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
     specs = []
     for routing in ("affinity", "random"):
         for storage in STORAGE_KINDS:

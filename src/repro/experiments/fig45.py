@@ -13,6 +13,8 @@ regular lock messages, GEM locking pays extra page-request messages).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig
 from repro.system.parallel import SweepRunner
@@ -21,7 +23,7 @@ __all__ = ["run"]
 
 
 def run(scale: Scale, buffer_sizes=(200, 1000),
-        runner: SweepRunner = None) -> ExperimentResult:
+        runner: Optional[SweepRunner] = None) -> ExperimentResult:
     specs = []
     for buffer_pages in buffer_sizes:
         for coupling in ("gem", "pcl"):

@@ -14,6 +14,8 @@ page request/transfer).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.system.config import SystemConfig
 from repro.system.parallel import SweepRunner
@@ -22,7 +24,7 @@ from repro.system.runner import find_throughput_at_utilization
 __all__ = ["run"]
 
 
-def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
     series = []
     for coupling in ("gem", "pcl"):
         for routing in ("affinity", "random"):

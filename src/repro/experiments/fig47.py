@@ -16,6 +16,8 @@ higher and more unbalanced.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.common import ExperimentResult, Scale, sweep_all
 from repro.system.config import SystemConfig, TraceWorkloadConfig
 from repro.system.parallel import SweepRunner
@@ -39,7 +41,7 @@ def trace_config(coupling, routing, scale) -> SystemConfig:
     )
 
 
-def run(scale: Scale, runner: SweepRunner = None) -> ExperimentResult:
+def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
     node_counts = [n for n in scale.node_counts if n <= 8]
     if not node_counts:
         node_counts = [1, 2]

@@ -66,7 +66,7 @@ def run_all(
                              progress=sys.stderr.isatty())
     with runner:
         # Table 4.1 first: parameters and the anchor run.
-        started = time.time()
+        started = time.time()  # simlint: disable=DET002 -- host wall-clock progress report, not simulated time
         lines = []
         width = max(len(k) for k, _ in table41.parameter_rows(SystemConfig()))
         for key, value in table41.parameter_rows(SystemConfig()):
@@ -79,10 +79,11 @@ def run_all(
         path = os.path.join(outdir, "table41.txt")
         with open(path, "w") as fh:
             fh.write("\n".join(lines) + "\n")
+        # simlint: disable-next=DET002 -- host wall-clock progress report, not simulated time
         print(f"table41 -> {path} ({time.time() - started:.0f}s)")
         # All figures.
         for name, module in FIGURES:
-            started = time.time()
+            started = time.time()  # simlint: disable=DET002 -- host wall-clock progress report, not simulated time
             result = module.run(scale, runner=runner)
             path = os.path.join(outdir, f"{name}.txt")
             with open(path, "w") as fh:
@@ -92,6 +93,7 @@ def run_all(
                 breakdown_path = os.path.join(outdir, f"{name}_breakdown.txt")
                 with open(breakdown_path, "w") as fh:
                     fh.write(breakdown + "\n")
+            # simlint: disable-next=DET002 -- host wall-clock progress report, not simulated time
             print(f"{name} -> {path} ({time.time() - started:.0f}s)")
         print(
             f"simulations: {runner.simulations_run} run, "

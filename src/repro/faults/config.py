@@ -32,7 +32,7 @@ class CrashSpec:
     node: int
     down_time: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError(f"crash time must be >= 0, got {self.time!r}")
         if self.node < 0:
@@ -76,7 +76,7 @@ class FaultConfig:
     #: recovery scans the log, it does not random-read it).
     redo_batch_pages: int = 16
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.crashes = [
             crash if isinstance(crash, CrashSpec) else CrashSpec(**crash)
             for crash in self.crashes

@@ -39,7 +39,7 @@ crash/recovery cycle, or leave no node up, is skipped and counted in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Set, TYPE_CHECKING
 
 from repro.errors import NodeCrashed
 from repro.faults.config import CrashSpec, FaultConfig
@@ -47,6 +47,7 @@ from repro.obs import phases
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.pages import PageId
+    from repro.node.node import Node
     from repro.sim.engine import Event, Process
     from repro.system.cluster import Cluster
 
@@ -67,7 +68,7 @@ class CrashRecord:
         "lost",
     )
 
-    def __init__(self, node: int, crash_time: float):
+    def __init__(self, node: int, crash_time: float) -> None:
         self.node = node
         self.crash_time = crash_time
         #: Simulation time the surviving nodes regained full service.
@@ -88,7 +89,7 @@ class CrashRecord:
 class FaultManager:
     """Crashes and restarts nodes; owns all failure-related state."""
 
-    def __init__(self, cluster: "Cluster", config: FaultConfig):
+    def __init__(self, cluster: "Cluster", config: FaultConfig) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = config
@@ -103,7 +104,10 @@ class FaultManager:
         #: page -> event fencing storage reads until REDO completes.
         self._pending_redo: Dict["PageId", "Event"] = {}
         #: dst node -> reply events of in-flight requests to it.
-        self._watched: Dict[int, Set["Event"]] = {}
+        #: Insertion-ordered dict-as-set: Event hashes by identity, so a
+        #: real set would fire the crash sentinels in address order --
+        #: nondeterministic across interpreter runs.
+        self._watched: Dict[int, Dict["Event", None]] = {}
         #: Message-handler processes per node (pruned opportunistically).
         self._handlers: Dict[int, List["Process"]] = {}
         #: PCL partition gates: home -> event open()ed when the
@@ -156,16 +160,26 @@ class FaultManager:
         if dst in self.down:
             reply.succeed({"crashed": True})
             return
-        self._watched.setdefault(dst, set()).add(reply)
+        self._watched.setdefault(dst, {})[reply] = None
 
     def unwatch(self, dst: int, reply: "Event") -> None:
         watched = self._watched.get(dst)
         if watched is not None:
-            watched.discard(reply)
+            watched.pop(reply, None)
+
+    def _answer_watched(self, node_id: int) -> None:
+        """Fire the crash sentinel on every reply watched for ``node_id``.
+
+        Sentinels fire in watch-registration order; the waiters resume
+        in that order, so the post-crash event schedule is reproducible.
+        """
+        for reply in self._watched.pop(node_id, {}):
+            if not reply.triggered:
+                reply.succeed({"crashed": True})
 
     # -- REDO fencing ---------------------------------------------------
 
-    def wait_redo(self, page: "PageId"):
+    def wait_redo(self, page: "PageId") -> Generator["Event", Any, None]:
         """Block while ``page``'s permanent copy awaits REDO recovery."""
         event = self._pending_redo.get(page)
         if event is not None:
@@ -176,7 +190,9 @@ class FaultManager:
         if event is not None and not event.triggered:
             event.succeed()
 
-    def redo_pages(self, record: CrashRecord, worker_id: int):
+    def redo_pages(
+        self, record: CrashRecord, worker_id: int
+    ) -> Generator["Event", Any, None]:
         """REDO ``record.lost`` at ``worker_id`` from the surviving log.
 
         Shared by both regimes; what differs is *who* runs it and what
@@ -207,7 +223,9 @@ class FaultManager:
                 dones.append(done)
             yield self.sim.all_of(dones)
 
-    def _redo_write(self, version: int, page: "PageId", worker, done: "Event"):
+    def _redo_write(
+        self, version: int, page: "PageId", worker: "Node", done: "Event"
+    ) -> Generator["Event", Any, None]:
         yield from self.cluster.storage.write(page, version, worker.cpu)
         self._redo_done(page)
         done.succeed()
@@ -239,7 +257,7 @@ class FaultManager:
         if gate is not None:
             gate.succeed()
 
-    def resolve_gla(self, home: int):
+    def resolve_gla(self, home: int) -> Generator["Event", Any, int]:
         """Effective host of GLA partition ``home`` (waits out gates)."""
         while True:
             gate = self._gates.get(home)
@@ -254,11 +272,11 @@ class FaultManager:
 
     # -- fault processes ------------------------------------------------
 
-    def _scripted(self, spec: CrashSpec):
+    def _scripted(self, spec: CrashSpec) -> Generator["Event", Any, None]:
         yield self.sim.timeout(spec.time)
         yield from self._cycle(spec.node, spec.down_time)
 
-    def _periodic(self):
+    def _periodic(self) -> Generator["Event", Any, None]:
         remaining = self.config.max_crashes
         num_nodes = self.cluster.config.num_nodes
         while remaining > 0:
@@ -270,7 +288,9 @@ class FaultManager:
             yield from self._cycle(node_id, down_time)
             remaining -= 1
 
-    def _cycle(self, node_id: int, down_time: float):
+    def _cycle(
+        self, node_id: int, down_time: float
+    ) -> Generator["Event", Any, None]:
         """One complete crash / failover / restart / reintegration."""
         if (
             node_id in self.down
@@ -332,7 +352,7 @@ class FaultManager:
         # the lifecycles through their cleanup handlers (resource
         # cancel-on-throw etc.); NodeCrashed is swallowed by the
         # transaction manager, so the work simply disappears.
-        for txn_id, (txn, proc) in list(node.tm.active.items()):
+        for txn, proc in list(node.tm.active.values()):
             if proc.interrupt(NodeCrashed(node_id)):
                 record.killed.append(txn)
         self.aborted_by_crash += len(record.killed)
@@ -361,9 +381,7 @@ class FaultManager:
 
         # 4. Answer watched replies with the crash sentinel so blocked
         # remote requesters on surviving nodes can retry.
-        for reply in self._watched.pop(node_id, set()):
-            if not reply.triggered:
-                reply.succeed({"crashed": True})
+        self._answer_watched(node_id)
 
         # 5. The buffer content is gone.  Afterwards, any page whose
         # committed version now exists in no surviving buffer and not

@@ -1,0 +1,36 @@
+"""simlint: determinism & protocol-safety static analysis.
+
+The repository's headline guarantee -- byte-identical results across
+seeds, job counts and fresh interpreters -- is enforced dynamically by
+golden snapshots and cross-process determinism tests.  ``simlint``
+moves that verification left: an AST pass that catches the hazard
+classes *before* a golden diff fires.  See docs/LINTING.md for the rule
+catalog and the suppression policy.
+
+Programmatic use::
+
+    from repro.lint import lint_paths
+    findings, files = lint_paths(["src/repro"])
+"""
+
+from repro.lint.analyzer import FileAnalyzer, Registry, analyze_source, build_registry
+from repro.lint.findings import JSON_SCHEMA_VERSION, Finding, render_json, render_text
+from repro.lint.rules import RULES, Rule, is_known_rule
+from repro.lint.runner import collect_files, lint_paths, lint_sources
+
+__all__ = [
+    "FileAnalyzer",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "Registry",
+    "RULES",
+    "Rule",
+    "analyze_source",
+    "build_registry",
+    "collect_files",
+    "is_known_rule",
+    "lint_paths",
+    "lint_sources",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,62 @@
+"""Finding records and report rendering for ``simlint``."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["Finding", "render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+#: Bumped whenever the JSON report layout changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    The field order defines the report order: by file, then line, then
+    column, then rule id -- a total order, so reports are byte-identical
+    across runs regardless of analysis order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding."""
+    return "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in sorted(findings)
+    )
+
+
+def render_json(findings: Iterable[Finding], files_scanned: int) -> str:
+    """Machine-readable report for CI (stable key order, sorted findings)."""
+    ordered: List[Finding] = sorted(findings)
+    counts: Dict[str, int] = {}
+    for finding in ordered:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    document: Dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": files_scanned,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in ordered
+        ],
+        "counts": dict(sorted(counts.items())),
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -1,0 +1,99 @@
+"""Rule catalog for ``simlint``.
+
+Every rule carries a structured identifier, a one-line summary and the
+rationale that ties it to the repository's determinism guarantee (see
+docs/LINTING.md for the full catalog and the suppression policy).
+
+Rule identifiers are grouped by family:
+
+* ``DET0xx`` -- nondeterminism hazards (ordering, wall clock, global
+  randomness) that can break byte-identical reproduction across seeds,
+  job counts and fresh interpreters.
+* ``SIM0xx`` -- simulation-protocol safety (resource leaks, span stack
+  corruption, heap tie-break hazards).
+* ``SUP0xx`` -- problems with suppression comments themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Rule", "RULES", "is_known_rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identifier, summary and rationale."""
+
+    id: str
+    summary: str
+    rationale: str
+
+
+_RULE_LIST = [
+    Rule(
+        "DET001",
+        "iteration over an unordered collection",
+        "Iterating a set (or an OS-ordered listing such as os.listdir or "
+        "glob) feeds arbitrary, process-dependent ordering into event "
+        "scheduling, message delivery or victim selection.  Wrap the "
+        "iterable in sorted() with a total-order key, or use an "
+        "insertion-ordered dict.",
+    ),
+    Rule(
+        "DET002",
+        "wall clock, global randomness, or id()-based ordering",
+        "The global random module, time.time/perf_counter, uuid and "
+        "id()-keyed ordering differ across interpreters and runs.  Model "
+        "code must draw from the seeded sim.rng streams and order by "
+        "explicit sequence numbers.",
+    ),
+    Rule(
+        "DET003",
+        "float accumulation over an unordered iterable",
+        "sum() of floats is not associative: summing over a set (or other "
+        "unordered source) makes the total depend on iteration order.  "
+        "Sort the iterable first, or use math.fsum for an exact, "
+        "order-independent sum.",
+    ),
+    Rule(
+        "SIM001",
+        "Resource request without cancel/release on every exit path",
+        "A process torn off a pending Resource.request() (deadlock abort, "
+        "node crash) must cancel it; otherwise a later release grants the "
+        "unit to a dead event and it leaks forever.  Guard the grant wait "
+        "with try/except cancel (Resource.grab) and the hold with "
+        "try/finally release (Resource.acquire does both).",
+    ),
+    Rule(
+        "SIM002",
+        "PhaseRecorder span used without a with-statement",
+        "A span pushed outside a with-statement is not popped when an "
+        "exception unwinds the process, corrupting the span stack and the "
+        "response-time breakdown.  Always use `with recorder.span(...)`.",
+    ),
+    Rule(
+        "SIM003",
+        "heap entry without a total-order tie-break key",
+        "heapq compares tuple elements left to right; a tuple ending in an "
+        "arbitrary object with no unique sequence number before it falls "
+        "back to object comparison on timestamp ties -- a TypeError at "
+        "best, id()-dependent ordering at worst.  Put a monotonic sequence "
+        "number before any non-comparable element.",
+    ),
+    Rule(
+        "SUP001",
+        "malformed simlint suppression",
+        "A `# simlint: disable=...` comment must name known rule ids and "
+        "carry a justification after ` -- `.  A malformed suppression is "
+        "reported and does not suppress anything.",
+    ),
+]
+
+#: rule id -> Rule, in catalog order.
+RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}
+
+
+def is_known_rule(rule_id: str) -> bool:
+    return rule_id in RULES

@@ -1,0 +1,111 @@
+"""Suppression comments: ``# simlint: disable=RULE[,RULE...] -- why``.
+
+Two forms are recognised:
+
+* trailing, on the offending line::
+
+      for n in working_set:  # simlint: disable=DET001 -- drained into a set
+
+* standalone, applying to the next non-comment line::
+
+      # simlint: disable-next=DET002 -- host wall-clock, not simulated time
+      started = time.time()
+
+A justification after `` -- `` is mandatory; a suppression without one
+(or naming an unknown rule) is malformed: it suppresses nothing and is
+itself reported as SUP001.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from io import StringIO
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import is_known_rule
+
+__all__ = ["SuppressionTable", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*simlint:\s*(?P<form>disable(?:-next)?)\s*=\s*(?P<rules>[A-Za-z0-9, ]+?)"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+class SuppressionTable:
+    """Suppressed rule ids per physical line of one file."""
+
+    def __init__(self) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        #: Findings about the suppression comments themselves.
+        self.errors: List[Finding] = []
+
+    def add(self, line: int, rule_ids: Set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rule_ids)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        return rule_id in self._by_line.get(line, ())
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """(line, comment text) pairs, via tokenize so strings never match."""
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse will report the syntax problem; no suppressions.
+        return []
+    return comments
+
+
+def parse_suppressions(source: str, path: str) -> SuppressionTable:
+    """Build the suppression table for one file's source text."""
+    table = SuppressionTable()
+    for line, comment in _comment_tokens(source):
+        if "simlint" not in comment:
+            continue
+        match = _PATTERN.search(comment)
+        if match is None:
+            table.errors.append(
+                Finding(
+                    path,
+                    line,
+                    0,
+                    "SUP001",
+                    "unparseable simlint comment (expected "
+                    "'# simlint: disable=RULE -- justification')",
+                )
+            )
+            continue
+        rule_ids = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        unknown = sorted(r for r in rule_ids if not is_known_rule(r))
+        why = match.group("why")
+        if unknown:
+            table.errors.append(
+                Finding(
+                    path,
+                    line,
+                    0,
+                    "SUP001",
+                    f"suppression names unknown rule(s): {', '.join(unknown)}",
+                )
+            )
+            continue
+        if not why:
+            table.errors.append(
+                Finding(
+                    path,
+                    line,
+                    0,
+                    "SUP001",
+                    "suppression lacks a justification ('-- why' is required)",
+                )
+            )
+            continue
+        target = line + 1 if match.group("form") == "disable-next" else line
+        table.add(target, rule_ids)
+    return table

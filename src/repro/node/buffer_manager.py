@@ -26,7 +26,7 @@ silently wrong result.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Generator, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.cc.base import LockGrant, PageSource
 from repro.db.pages import CoherencyError, PageId, VersionLedger
@@ -44,7 +44,7 @@ __all__ = ["BufferManager", "PartitionBufferStats"]
 class _Frame:
     __slots__ = ("version", "dirty", "pins", "protects", "evicting", "prev_dirty")
 
-    def __init__(self, version: int, dirty: bool):
+    def __init__(self, version: int, dirty: bool) -> None:
         self.version = version
         self.dirty = dirty
         self.pins = 0
@@ -64,7 +64,7 @@ class PartitionBufferStats:
 
     __slots__ = ("accesses", "hits", "misses", "invalidations")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.accesses = 0
         self.hits = 0
         self.misses = 0
@@ -86,7 +86,7 @@ class BufferManager:
     #: Maximum concurrent asynchronous write-backs per node.
     _MAX_WRITEBACKS = 8
 
-    def __init__(self, node: "Node", capacity: int, ledger: VersionLedger):
+    def __init__(self, node: "Node", capacity: int, ledger: VersionLedger) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.node = node
@@ -156,7 +156,9 @@ class BufferManager:
         """
         self._frames.clear()
 
-    def dirty_frames(self, predicate=None):
+    def dirty_frames(
+        self, predicate: Optional[Callable[[PageId], bool]] = None
+    ) -> List[Tuple[PageId, int]]:
         """Sorted ``(page, version)`` of dirty frames (fault recovery).
 
         ``predicate`` filters by page; pass None for all dirty frames.
@@ -360,7 +362,7 @@ class BufferManager:
         if self._writer_signal is not None and not self._writer_signal.triggered:
             self._writer_signal.succeed()
 
-    def _writeback_daemon(self):
+    def _writeback_daemon(self) -> Generator[Event, Any, None]:
         """Clean dirty frames near the LRU end, off the critical path.
 
         Runs up to ``_MAX_WRITEBACKS`` concurrent page writes so that
@@ -386,7 +388,9 @@ class BufferManager:
                 yield self._writer_signal
                 self._writer_signal = None
 
-    def _writeback_one(self, page: PageId, frame: _Frame):
+    def _writeback_one(
+        self, page: PageId, frame: _Frame
+    ) -> Generator[Event, Any, None]:
         version = frame.version
         self.writeback_writes += 1
         try:
@@ -403,7 +407,9 @@ class BufferManager:
                 )
         self._notify_writer()
 
-    def _oldest_dirty_unpinned(self, scan_depth: int):
+    def _oldest_dirty_unpinned(
+        self, scan_depth: int
+    ) -> Optional[Tuple[PageId, _Frame]]:
         """First dirty, unpinned frame within the oldest LRU region.
 
         Returns None when the buffer is not full (no replacement
@@ -449,7 +455,7 @@ class BufferManager:
                 del self._frames[victim_page]
                 self.evictions += 1
 
-    def _choose_victim(self):
+    def _choose_victim(self) -> Tuple[PageId, _Frame]:
         # Prefer clean victims (the write-back daemon keeps the tail
         # clean); fall back to a synchronous dirty write-out.
         fallback = None
@@ -480,13 +486,17 @@ class BufferManager:
                 )
                 for page, version in txn.modified.items()
             ]
+            # Sorted: modified_unlocked is a set and process spawn order
+            # feeds the event schedule.
             writes.extend(
                 self.sim.process(self._force_write(page, None), name="force-write")
-                for page in txn.modified_unlocked
+                for page in sorted(txn.modified_unlocked)
             )
             yield self.sim.all_of(writes)
 
-    def _force_write(self, page: PageId, version: Optional[int]):
+    def _force_write(
+        self, page: PageId, version: Optional[int]
+    ) -> Generator[Event, Any, None]:
         self.force_writes += 1
         yield from self.node.storage.write(page, version, self.node.cpu)
         frame = self._frames.get(page)
@@ -518,7 +528,7 @@ class BufferManager:
         self._unpin_unlocked(txn)
 
     def _unpin_unlocked(self, txn: Transaction) -> None:
-        for page in txn.modified_unlocked:
+        for page in sorted(txn.modified_unlocked):
             frame = self._frames.get(page)
             if frame is not None and frame.pins > 0:
                 frame.pins -= 1

@@ -11,7 +11,7 @@ or directly into a waiting reply event for request/reply exchanges.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Generator, Mapping, Optional
 
 from repro.sim.engine import Event, Simulator
 
@@ -28,10 +28,10 @@ class Message:
         kind: str,
         src: int,
         dst: int,
-        payload: Dict[str, Any],
+        payload: Mapping[str, Any],
         long: bool = False,
         reply_event: Optional[Event] = None,
-    ):
+    ) -> None:
         self.kind = kind
         self.src = src
         self.dst = dst
@@ -47,7 +47,7 @@ class Message:
 class CommSubsystem:
     """Message send/receive processing for one node."""
 
-    def __init__(self, sim: Simulator, node: "Node", cluster: "Cluster"):
+    def __init__(self, sim: Simulator, node: "Node", cluster: "Cluster") -> None:
         self.sim = sim
         self.node = node
         self.cluster = cluster
@@ -66,7 +66,7 @@ class CommSubsystem:
         self,
         dst: int,
         kind: str,
-        payload: Dict[str, Any],
+        payload: Mapping[str, Any],
         long: bool = False,
         reply_event: Optional[Event] = None,
     ) -> Generator[Event, Any, None]:
@@ -86,7 +86,7 @@ class CommSubsystem:
         yield from self.node.cpu.consume(self._overhead(long))
         self.sim.process(self._deliver(message), name=f"deliver-{kind}")
 
-    def _deliver(self, message: Message):
+    def _deliver(self, message: Message) -> Generator[Event, Any, None]:
         network = self.cluster.network
         nbytes = self.bytes_long if message.long else self.bytes_short
         yield from network.transmit(nbytes)

@@ -13,7 +13,7 @@ CPU unit across such a compound operation.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource
@@ -32,7 +32,7 @@ class CpuPool:
         mips: float,
         stream: Stream,
         name: str = "cpu",
-    ):
+    ) -> None:
         if num_cpus < 1:
             raise ValueError("num_cpus must be >= 1")
         if mips <= 0:
@@ -68,6 +68,10 @@ class CpuPool:
         """Acquire one CPU unit; pair with :meth:`release`."""
         return self.resource.request()
 
+    def grab(self) -> Generator[Event, Any, None]:
+        """Wait for one CPU unit, cancel-safe; pair with :meth:`release`."""
+        yield from self.resource.grab()
+
     def release(self) -> None:
         self.resource.release()
 
@@ -81,7 +85,7 @@ class CpuPool:
     def utilization(self) -> float:
         return self.resource.utilization()
 
-    def busy_time(self, now=None) -> float:
+    def busy_time(self, now: Optional[float] = None) -> float:
         """Accumulated busy CPU-seconds since the last reset."""
         return self.resource.busy_time(now)
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.db.pages import PageId
 
@@ -36,7 +36,7 @@ class LockMode(str, enum.Enum):
     EXCLUSIVE = "X"
 
 
-def _compatible(mode: LockMode, held_modes) -> bool:
+def _compatible(mode: LockMode, held_modes: Iterable[LockMode]) -> bool:
     if mode is LockMode.SHARED:
         return all(m is LockMode.SHARED for m in held_modes)
     return not held_modes
@@ -45,7 +45,7 @@ def _compatible(mode: LockMode, held_modes) -> bool:
 class _Request:
     __slots__ = ("txn", "mode", "on_grant", "upgrade")
 
-    def __init__(self, txn: int, mode: LockMode, on_grant: Callable, upgrade: bool):
+    def __init__(self, txn: int, mode: LockMode, on_grant: Callable, upgrade: bool) -> None:
         self.txn = txn
         self.mode = mode
         self.on_grant = on_grant
@@ -57,7 +57,7 @@ class LockEntry:
 
     __slots__ = ("holders", "queue", "seqno", "owner", "auth_nodes")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.holders: Dict[int, LockMode] = {}
         self.queue: Deque[_Request] = deque()
         #: Page sequence number: incremented for every modification.
@@ -78,7 +78,7 @@ class LockTable:
         self,
         name: str = "locktable",
         seqno_init: Optional[Callable[[PageId], int]] = None,
-    ):
+    ) -> None:
         self.name = name
         #: Sequence number of a freshly created entry.  A table built
         #: during crash recovery must not promise seqno 0 for pages it
@@ -166,7 +166,9 @@ class LockTable:
         del entry.holders[txn]
         return self._promote(entry)
 
-    def release_all(self, txn: int, pages) -> List[Tuple[int, LockMode]]:
+    def release_all(
+        self, txn: int, pages: Iterable[PageId]
+    ) -> List[Tuple[int, LockMode]]:
         """Release a set of pages held by ``txn``; returns all new grants."""
         granted: List[Tuple[int, LockMode]] = []
         for page in pages:
@@ -243,7 +245,7 @@ class LockTable:
 
     # -- introspection -----------------------------------------------------
 
-    def held_pages(self, txn: int):
+    def held_pages(self, txn: int) -> List[PageId]:
         """All pages on which ``txn`` currently holds a lock (slow scan)."""
         return [
             page for page, entry in self._entries.items() if txn in entry.holders

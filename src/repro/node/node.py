@@ -4,16 +4,21 @@ transaction management and message dispatch together (Fig. 3.1).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, TYPE_CHECKING
+from typing import Any, Dict, Generator, Optional, Set, TYPE_CHECKING
 
+from repro.cc.base import CCProtocol
+from repro.cc.messages import MessageHandler
+from repro.db.pages import PageId
 from repro.node.buffer_manager import BufferManager
 from repro.node.comm import CommSubsystem
 from repro.node.cpu import CpuPool
+from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource, Store
 from repro.sim.stats import Counter, Tally
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.system.cluster import Cluster
+    from repro.workload.transaction import Transaction
 
 __all__ = ["Node"]
 
@@ -21,7 +26,7 @@ __all__ = ["Node"]
 class Node:
     """One autonomous processing node of the database sharing system."""
 
-    def __init__(self, sim, node_id: int, cluster: "Cluster"):
+    def __init__(self, sim: Simulator, node_id: int, cluster: "Cluster") -> None:
         self.sim = sim
         self.node_id = node_id
         self.cluster = cluster
@@ -42,10 +47,12 @@ class Node:
         self.mpl = Resource(sim, config.mpl_per_node, name=f"node{node_id}.mpl")
         self.recorder = cluster.recorder
         #: Set by the cluster once the protocol is constructed.
-        self.protocol = None
+        self.protocol: Optional[CCProtocol] = None
         #: Read-authorization cache (populated by PCL when enabled).
-        self.auth_cache: Dict = {}
-        self._handlers: Dict[str, Callable] = {}
+        self.auth_cache: Dict[PageId, bool] = {}
+        #: Sole-interest lock authorizations (populated by GEM locking).
+        self.gem_auth: Set[PageId] = set()
+        self._handlers: Dict[str, MessageHandler] = {}
         self._history_seq = 0
         # -- statistics ------------------------------------------------
         self.arrivals = Counter(f"node{node_id}.arrivals")
@@ -57,12 +64,10 @@ class Node:
 
     # -- message dispatch --------------------------------------------------
 
-    def register_handler(
-        self, kind: str, handler: Callable[["Node", Dict[str, Any]], Generator]
-    ) -> None:
+    def register_handler(self, kind: str, handler: MessageHandler) -> None:
         self._handlers[kind] = handler
 
-    def _dispatcher(self):
+    def _dispatcher(self) -> Generator[Event, Any, None]:
         """Deliver incoming messages to protocol handlers.
 
         Each message is handled in its own process: a handler may block
@@ -86,7 +91,7 @@ class Node:
 
     # -- HISTORY append cursor ------------------------------------------------
 
-    def next_history_page(self, partition_index: int, blocking_factor: int):
+    def next_history_page(self, partition_index: int, blocking_factor: int) -> PageId:
         """Page id for the next HISTORY record appended at this node.
 
         Sequential files are appended per node (the paper synchronizes
@@ -99,7 +104,7 @@ class Node:
 
     # -- statistics ---------------------------------------------------------
 
-    def record_completion(self, txn, response_time: float) -> None:
+    def record_completion(self, txn: "Transaction", response_time: float) -> None:
         self.completions.increment()
         self.response_time.record(response_time)
         if txn.num_accesses:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Tuple, TYPE_CHECKING
 
+from repro.cc.base import LockGrant
 from repro.errors import NodeCrashed, TransactionAborted
 from repro.obs import phases
 from repro.sim.engine import Event, Process
@@ -35,7 +36,7 @@ HISTORY_APPEND = -1
 class TransactionManager:
     """Executes the transactions routed to one node."""
 
-    def __init__(self, node: "Node"):
+    def __init__(self, node: "Node") -> None:
         self.node = node
         self.sim = node.sim
         self.stream = node.cluster.streams.stream(f"tm-{node.node_id}")
@@ -55,7 +56,7 @@ class TransactionManager:
         if proc.is_alive:
             self.active[txn.txn_id] = (txn, proc)
 
-    def _lifecycle(self, txn: Transaction):
+    def _lifecycle(self, txn: Transaction) -> Generator[Event, Any, None]:
         try:
             yield from self._admitted(txn)
         except NodeCrashed:
@@ -66,7 +67,7 @@ class TransactionManager:
         finally:
             self.active.pop(txn.txn_id, None)
 
-    def _admitted(self, txn: Transaction):
+    def _admitted(self, txn: Transaction) -> Generator[Event, Any, None]:
         recorder = self.node.recorder
         request = self.node.mpl.request()
         try:
@@ -116,7 +117,9 @@ class TransactionManager:
             yield from node.protocol.commit_release(txn)
             node.buffer.finish_commit(txn)
 
-    def _lock(self, txn: Transaction, access: PageAccess):
+    def _lock(
+        self, txn: Transaction, access: PageAccess
+    ) -> Generator[Event, Any, LockGrant]:
         """Acquire the page lock unless an adequate one is held."""
         node = self.node
         page = access.page

@@ -40,7 +40,7 @@ class Interrupted(Exception):
     The original cause is available as ``exc.cause``.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -62,7 +62,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         #: Callables invoked with this event once it has been processed.
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -130,7 +130,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
         super().__init__(sim)
@@ -161,7 +161,7 @@ class Process(Event):
         sim: "Simulator",
         generator: Generator[Event, Any, Any],
         name: str = "",
-    ):
+    ) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError("Process requires a generator")
         super().__init__(sim)
@@ -267,7 +267,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_remaining")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         for ev in self.events:
@@ -348,7 +348,7 @@ class AnyOf(_Condition):
 class Simulator:
     """The simulation clock and event loop."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Any] = []
         self._seq = 0

@@ -38,7 +38,7 @@ class Resource:
         yield from resource.acquire(service_time)
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
@@ -101,11 +101,15 @@ class Resource:
                 return
         raise ValueError(f"cancel() of unknown request on {self.name!r}")
 
-    def acquire(self, duration: float) -> Generator[Event, Any, None]:
-        """Request a unit, hold it for ``duration``, release it.
+    def grab(self) -> Generator[Event, Any, None]:
+        """Request a unit and wait for the grant, cancel-safe.
 
-        If an exception is thrown into the generator while it waits for
-        the grant, the request is cancelled so the unit cannot leak.
+        Unlike a bare ``yield resource.request()``, an exception thrown
+        into the generator while queued (deadlock abort, node crash)
+        cancels the pending request, so a later release cannot grant
+        the unit to a dead event and leak it.  The caller holds the
+        unit on return and must pair this with ``release()`` in a
+        ``finally`` block.
         """
         request = self.request()
         try:
@@ -113,6 +117,14 @@ class Resource:
         except BaseException:
             self.cancel(request)
             raise
+
+    def acquire(self, duration: float) -> Generator[Event, Any, None]:
+        """Request a unit, hold it for ``duration``, release it.
+
+        If an exception is thrown into the generator while it waits for
+        the grant, the request is cancelled so the unit cannot leak.
+        """
+        yield from self.grab()
         try:
             yield self.sim.timeout(duration)
         finally:
@@ -162,7 +174,7 @@ class Store:
     delivered to getters in FIFO order on both sides.
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name or "store"
         self._items: Deque[Any] = deque()

@@ -12,9 +12,11 @@ import bisect
 import hashlib
 import itertools
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, TypeVar
 
 __all__ = ["StreamRegistry", "Stream", "derive_seed", "replicate_seed", "zipf_weights"]
+
+T = TypeVar("T")
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -51,7 +53,7 @@ def replicate_seed(base_seed: int, replicate: int) -> int:
 class Stream:
     """A single random stream with the distributions the model needs."""
 
-    def __init__(self, seed: int, name: str = ""):
+    def __init__(self, seed: int, name: str = "") -> None:
         self.name = name
         self._rng = random.Random(seed)
 
@@ -73,10 +75,10 @@ class Stream:
         """Uniform integer in [low, high] inclusive."""
         return self._rng.randint(low, high)
 
-    def choice(self, seq: Sequence):
+    def choice(self, seq: Sequence[T]) -> T:
         return self._rng.choice(seq)
 
-    def shuffle(self, seq: List) -> None:
+    def shuffle(self, seq: List[T]) -> None:
         self._rng.shuffle(seq)
 
     def bernoulli(self, p: float) -> bool:
@@ -118,7 +120,7 @@ def zipf_weights(n: int, theta: float) -> List[float]:
 class StreamRegistry:
     """A factory of independently seeded :class:`Stream` objects."""
 
-    def __init__(self, master_seed: int = 42):
+    def __init__(self, master_seed: int = 42) -> None:
         self.master_seed = master_seed
         self._streams: Dict[str, Stream] = {}
 

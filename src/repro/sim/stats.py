@@ -28,7 +28,7 @@ class Counter:
 
     __slots__ = ("name", "count")
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.count = 0
 
@@ -51,7 +51,7 @@ class Tally:
 
     __slots__ = ("name", "count", "_mean", "_m2", "_min", "_max", "_samples")
 
-    def __init__(self, name: str = "", keep_samples: bool = False):
+    def __init__(self, name: str = "", keep_samples: bool = False) -> None:
         self.name = name
         self.count = 0
         self._mean = 0.0
@@ -151,7 +151,7 @@ class TimeWeighted:
 
     __slots__ = ("name", "_value", "_last_time", "_start_time", "_area", "max")
 
-    def __init__(self, name: str = "", initial: float = 0.0, now: float = 0.0):
+    def __init__(self, name: str = "", initial: float = 0.0, now: float = 0.0) -> None:
         self.name = name
         self._value = initial
         self._last_time = now
@@ -204,7 +204,7 @@ class StatsRegistry:
     once and enumerate them for reporting.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.counters: Dict[str, Counter] = {}
         self.tallies: Dict[str, Tally] = {}
         self.time_weighted: Dict[str, TimeWeighted] = {}

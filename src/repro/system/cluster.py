@@ -9,7 +9,7 @@ workload SOURCE with its router.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cc.deadlock import DeadlockDetector
 from repro.cc.gem_locking import GemLockingProtocol
@@ -34,6 +34,7 @@ from repro.sim.rng import StreamRegistry
 from repro.system.config import Coupling, RoutingStrategy, SystemConfig
 from repro.system.results import RunResult
 from repro.workload.arrivals import Source
+from repro.workload.transaction import Transaction
 from repro.workload.debitcredit import DebitCreditGenerator
 
 __all__ = ["Cluster"]
@@ -42,7 +43,7 @@ __all__ = ["Cluster"]
 class Cluster:
     """A complete closely or loosely coupled database sharing system."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.sim = Simulator()
         self.streams = StreamRegistry(config.random_seed)
@@ -178,7 +179,7 @@ class Cluster:
             )
         raise ValueError(f"unknown workload {config.workload!r}")
 
-    def _build_router(self):
+    def _build_router(self) -> Union[AffinityRouter, RandomRouter]:
         config = self.config
         if config.routing is RoutingStrategy.RANDOM:
             return RandomRouter(config.num_nodes)
@@ -188,7 +189,7 @@ class Cluster:
             spec = config.synthetic
             num_nodes = config.num_nodes
 
-            def home_of(txn):
+            def home_of(txn: Transaction) -> int:
                 affinity = spec.classes[txn.type_id].affinity_node
                 if affinity is None:
                     return txn.type_id % num_nodes
@@ -254,7 +255,9 @@ class Cluster:
 
     # -- introspection ------------------------------------------------------------
 
-    def device_channels(self):
+    def device_channels(
+        self,
+    ) -> List[Tuple[str, Callable[[Optional[float]], float], int]]:
         """Monitorable devices as ``(name, busy_time_fn, capacity)``.
 
         ``busy_time_fn(now)`` returns accumulated busy server-seconds;

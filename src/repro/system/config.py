@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional
+from typing import Any, Optional
 
 from repro.db.schema import StorageKind
 from repro.faults.config import FaultConfig
@@ -304,7 +304,7 @@ class SystemConfig:
     def total_arrival_rate(self) -> float:
         return self.arrival_rate_per_node * self.num_nodes
 
-    def replace(self, **overrides) -> "SystemConfig":
+    def replace(self, **overrides: Any) -> "SystemConfig":
         """Return a copy with the given fields overridden."""
         return dataclasses.replace(self, **overrides)
 

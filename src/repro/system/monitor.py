@@ -16,9 +16,10 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event
     from repro.system.cluster import Cluster
 
 __all__ = ["TimeSeriesMonitor"]
@@ -29,7 +30,7 @@ class TimeSeriesMonitor:
 
     def __init__(
         self, cluster: "Cluster", interval: float = 1.0, devices: bool = False
-    ):
+    ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.cluster = cluster
@@ -49,7 +50,7 @@ class TimeSeriesMonitor:
         }
         cluster.sim.process(self._run(), name="monitor")
 
-    def _run(self):
+    def _run(self) -> Generator["Event", Any, None]:
         sim = self.cluster.sim
         while True:
             yield sim.timeout(self.interval)

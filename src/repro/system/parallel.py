@@ -33,7 +33,7 @@ import math
 import os
 import sys
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.sim.rng import replicate_seed
 from repro.system.config import SystemConfig
@@ -115,7 +115,7 @@ class ReplicatedResult:
     aggregate behaviourally identical to the plain result.
     """
 
-    def __init__(self, results: Sequence[RunResult], seeds: Sequence[int]):
+    def __init__(self, results: Sequence[RunResult], seeds: Sequence[int]) -> None:
         if not results:
             raise ValueError("at least one replicate required")
         if len(results) != len(seeds):
@@ -132,7 +132,7 @@ class ReplicatedResult:
     def n_replicates(self) -> int:
         return len(self.results)
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         if name.startswith("_"):
             raise AttributeError(name)
         return getattr(object.__getattribute__(self, "results")[0], name)
@@ -202,7 +202,7 @@ class ResultCache:
     """
 
     def __init__(self, directory: str = DEFAULT_CACHE_DIR,
-                 code_version: str = CODE_VERSION):
+                 code_version: str = CODE_VERSION) -> None:
         self.directory = directory
         self.code_version = code_version
         self.hits = 0
@@ -274,7 +274,7 @@ class SweepRunner:
 
     def __init__(self, jobs: int = 1, seeds: int = 1,
                  cache: Optional[ResultCache] = None,
-                 progress: bool = False):
+                 progress: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if seeds < 1:
@@ -292,7 +292,7 @@ class SweepRunner:
     def __enter__(self) -> "SweepRunner":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def close(self) -> None:
@@ -327,7 +327,7 @@ class SweepRunner:
             else:
                 pending.append((index, config))
 
-        started = time.time()
+        started = time.time()  # simlint: disable=DET002 -- host wall-clock ETA display, not simulated time
         done = 0
 
         def note_done() -> None:
@@ -335,6 +335,7 @@ class SweepRunner:
             done += 1
             self.simulations_run += 1
             if self.progress:
+                # simlint: disable-next=DET002 -- host wall-clock ETA display, not simulated time
                 elapsed = time.time() - started
                 eta = elapsed / done * (len(pending) - done)
                 sys.stderr.write(

@@ -9,7 +9,10 @@ behaviour (local shares, waits, deadlocks) and message counts.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.breakdown import ResponseTimeBreakdown
 
 __all__ = ["RunResult"]
 
@@ -122,7 +125,7 @@ class RunResult:
         return self.messages_short_per_txn + self.messages_long_per_txn
 
     @property
-    def response_breakdown(self):
+    def response_breakdown(self) -> Optional["ResponseTimeBreakdown"]:
         """The breakdown as a ResponseTimeBreakdown, or None."""
         if self.breakdown is None:
             return None

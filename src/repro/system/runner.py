@@ -29,12 +29,14 @@ __all__ = [
 
 def run_simulation(config: SystemConfig) -> RunResult:
     """Build a cluster from ``config`` and run one warm-up+measure cycle."""
+    # simlint: disable-next=DET002 -- measures host wall-clock cost of the run itself
     started = time.perf_counter()
     cluster = Cluster(config)
     cluster.sim.run(until=config.warmup_time)
     cluster.reset_stats()
     cluster.sim.run(until=config.warmup_time + config.measure_time)
     result = cluster.collect_results(config.measure_time)
+    # simlint: disable-next=DET002 -- measures host wall-clock cost of the run itself
     result.wall_clock_seconds = time.perf_counter() - started
     return result
 

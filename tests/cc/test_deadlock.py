@@ -151,3 +151,41 @@ class TestSideCycles:
         assert detector.register_block(4, table, abort(4)) is None
         assert detector.is_blocked(4)
         assert aborted == [2, 3]
+
+
+class TestDeterministicVictimOrder:
+    def test_dfs_explores_blockers_in_sorted_order(self):
+        """Victim sequence must not depend on set iteration order.
+
+        Transaction 1 waits for both 3 and 10, each of which waits for
+        1: two cycles resolved back to back.  ``waiting_for`` returns a
+        set, and ``{3, 10}`` iterates as ``[10, 3]`` under CPython's
+        hashing -- pre-fix the DFS followed that order and aborted 10
+        before 3.  With sorted edge expansion the victim sequence is
+        the value order ``[3, 10]`` regardless of hash layout.
+        """
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+
+        def abort(txn):
+            return lambda: aborted.append(txn)
+
+        pa, pb, pc = (0, 1), (0, 2), (0, 3)
+        # 1 holds pb and pc; 3 and 10 share pa.
+        table.request(1, pb, X, noop)
+        table.request(1, pc, X, noop)
+        table.request(3, pa, S, noop)
+        table.request(10, pa, S, noop)
+        # 3 queues for pb, 10 queues for pc: edges 3->1 and 10->1.
+        table.request(3, pb, X, noop)
+        assert detector.register_block(3, table, abort(3)) is None
+        table.request(10, pc, X, noop)
+        assert detector.register_block(10, table, abort(10)) is None
+        # 1 queues for pa behind both holders: cycles 1<->3 and 1<->10.
+        table.request(1, pa, X, noop)
+        victim = detector.register_block(1, table, abort(1))
+        assert victim == 3  # first cycle resolved went through 3
+        assert aborted == [3, 10]
+        assert detector.victims == [3, 10]
+        assert detector.deadlocks_detected == 2

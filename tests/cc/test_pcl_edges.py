@@ -137,3 +137,35 @@ class TestRevocationEdges:
         before = cluster.protocol.revocations
         drive(cluster, write())
         assert cluster.protocol.revocations == before
+
+
+class TestRevokeOrder:
+    def test_authorizations_revoked_in_node_order(self):
+        """Revoke messages must go out in sorted node order.
+
+        ``auth_nodes`` is a set; ``{8, 1}`` iterates as ``[8, 1]``
+        under CPython's hashing, and the message send order feeds the
+        event schedule.  Pre-fix the revokes followed set order.
+        """
+        cluster = make_cluster(num_nodes=9)
+        protocol = cluster.protocol
+        gla_node = cluster.nodes[0]
+        sent = []
+
+        def fake_send(dst, kind, payload, **kwargs):
+            sent.append(dst)
+            payload["ack"].succeed({})
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        gla_node.comm.send = fake_send
+
+        class Entry:
+            auth_nodes = {8, 1}
+
+        assert list(Entry.auth_nodes) == [8, 1]  # the hazardous order
+        drive(cluster, protocol._revoke_authorizations(
+            gla_node, page_of_node(cluster, 0), Entry, requester=0))
+        assert sent == [1, 8]
+        assert Entry.auth_nodes == set()
+        assert protocol.revocations == 2

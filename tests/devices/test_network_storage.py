@@ -151,3 +151,52 @@ class TestStorageDirectory:
         directory, *_ = self._make(sim)
         assert not directory.is_gem_resident(0)
         assert directory.is_gem_resident(1)
+
+
+class TestGemCpuGrantLeak:
+    """Interrupting a reader queued for the CPU on the GEM path must
+    withdraw the CPU request (regression: the bare ``request()`` there
+    let the next release grant the unit to the dead event, permanently
+    losing one CPU of capacity)."""
+
+    def _make(self, sim):
+        ledger = VersionLedger()
+        streams = StreamRegistry(1)
+        directory = StorageDirectory(sim, ledger, 3000.0, 300.0)
+        gem = GemDevice(sim, page_access_time=50e-6)
+        directory.assign(1, gem)
+        cpu = CpuPool(sim, 1, 10.0, streams.stream("cpu"))
+        return directory, cpu
+
+    def test_interrupted_gem_read_releases_cpu_claim(self, sim):
+        from repro.errors import NodeCrashed
+
+        directory, cpu = self._make(sim)
+
+        def hog():
+            yield from cpu.consume(10_000_000)  # holds the CPU until t=1
+
+        def reader():
+            try:
+                yield from directory.read((1, 3), cpu)
+            except NodeCrashed:
+                return
+
+        sim.process(hog())
+        victim = sim.process(reader())
+        sim.run(until=0.5)
+        assert cpu.resource.queue_length == 1
+        assert victim.interrupt(NodeCrashed(0))
+        sim.run(until=0.501)
+        assert cpu.resource.queue_length == 0
+
+        done = []
+
+        def late_reader():
+            yield from directory.read((1, 3), cpu)
+            done.append(sim.now)
+
+        sim.process(late_reader())
+        sim.run()
+        assert done and done[0] == pytest.approx(1.0 + 30e-6 + 50e-6)
+        assert cpu.resource.busy == 0

@@ -157,3 +157,27 @@ class TestSingleFailureGuard:
         cluster.sim.run(until=1.0)
         assert cluster.faults.crashes_skipped == 1
         assert cluster.faults.crashes == 0
+
+
+class TestSentinelOrder:
+    def test_sentinels_fire_in_watch_registration_order(self):
+        """Crash sentinels must fire in watch order, not address order.
+
+        ``Event`` hashes by identity, so the former ``Set[Event]``
+        registry fired the sentinels in interpreter address order --
+        different from run to run, reshuffling the post-crash event
+        schedule.  The insertion-ordered registry makes the firing
+        order equal the watch order.
+        """
+        cluster = make_cluster()
+        fired = []
+        replies = []
+        for index in range(32):
+            reply = cluster.sim.event()
+            reply.callbacks.append(lambda _e, i=index: fired.append(i))
+            cluster.faults.watch(1, reply)
+            replies.append(reply)
+        cluster.faults._answer_watched(1)
+        cluster.sim.run(until=cluster.sim.now + 1e-9)
+        assert all(r.triggered for r in replies)
+        assert fired == list(range(32))

@@ -266,3 +266,28 @@ class TestUnlockedPartitions:
         do_access(node, t2, a2)  # must not raise
         commit(node, t1)
         commit(node, t2)
+
+
+class TestForceWriteOrder:
+    def test_unlocked_force_writes_spawn_in_page_order(self):
+        """FORCE must walk ``modified_unlocked`` in sorted page order.
+
+        The set's iteration order feeds process spawn order and hence
+        the event schedule; pre-fix it depended on hash layout.
+        """
+        node = MiniNode(force=True, buffer_pages=16)
+        txn = make_txn()
+        spawned = []
+        real = node.buffer._force_write
+
+        def spy(page, version):
+            spawned.append(page)
+            return real(page, version)
+
+        node.buffer._force_write = spy
+        pages = [(1, 9), (1, 2), (1, 17), (1, 5)]
+        for page in pages:
+            do_access(node, txn, write_access(page, lockable=False))
+        assert txn.modified_unlocked == set(pages)
+        node.run(node.buffer.commit_phase1(txn))
+        assert spawned == sorted(pages)

@@ -127,3 +127,83 @@ def pytest_approx(value):
     import pytest
 
     return pytest.approx(value, rel=1e-6, abs=1e-6)
+
+
+class TestSameTimeTieBreaking:
+    """The heap key is ``(time, priority, seq, event)`` with a strictly
+    monotonic ``seq``: ties on time and priority are broken by schedule
+    order alone, and ``Event`` objects are never compared."""
+
+    @given(st.lists(st.sampled_from([0.0, 1.0, 2.0]), min_size=1,
+                    max_size=80))
+    @settings(max_examples=60)
+    def test_many_same_time_events_fire_in_schedule_order(self, times):
+        sim = Simulator()
+        fired = []
+        for tag, when in enumerate(times):
+            event = sim.event()
+            event.callbacks.append(lambda _e, t=tag: fired.append(t))
+            event.succeed(value=None, delay=when)
+        sim.run()
+        expected = [tag for when in (0.0, 1.0, 2.0)
+                    for tag, t in enumerate(times) if t == when]
+        assert fired == expected
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=60))
+    @settings(max_examples=60)
+    def test_urgent_preempts_normal_within_a_timestamp(self, urgencies):
+        from repro.sim.engine import NORMAL, URGENT
+
+        sim = Simulator()
+        fired = []
+        for tag, urgent in enumerate(urgencies):
+            event = sim.event()
+            event._ok = True
+            event._value = None
+            event.callbacks.append(lambda _e, t=tag: fired.append(t))
+            sim._schedule(event, 1.0, priority=URGENT if urgent else NORMAL)
+        sim.run()
+        expected = ([t for t, u in enumerate(urgencies) if u]
+                    + [t for t, u in enumerate(urgencies) if not u])
+        assert fired == expected
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=60))
+    @settings(max_examples=40)
+    def test_identical_schedules_replay_identically(self, times):
+        def run_once():
+            sim = Simulator()
+            fired = []
+            for tag, when in enumerate(times):
+                event = sim.event()
+                event.callbacks.append(lambda _e, t=tag: fired.append(t))
+                event.succeed(value=None, delay=float(when))
+            sim.run()
+            return fired
+
+        assert run_once() == run_once()
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30)
+    def test_store_serves_same_time_getters_fifo(self, n):
+        from repro.sim import Store
+
+        sim = Simulator()
+        store = Store(sim)
+        served = []
+
+        def getter(tag):
+            item = yield store.get()
+            served.append((tag, item))
+
+        for tag in range(n):
+            sim.process(getter(tag))
+
+        def producer():
+            yield sim.timeout(1.0)
+            for item in range(n):
+                store.put(item)
+
+        sim.process(producer())
+        sim.run()
+        assert served == [(i, i) for i in range(n)]

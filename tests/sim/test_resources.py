@@ -382,3 +382,63 @@ class TestCancel:
         sim.process(job(3.0))
         sim.run()
         assert res.busy_time() == pytest.approx(5.0)
+
+
+class TestGrab:
+    """Cancel-safe grant waits (``Resource.grab``).
+
+    Regression class for the unit-leak bug: a bare ``yield
+    resource.request()`` interrupted while queued left the request in
+    the queue, so the next release granted the unit to a dead event
+    and the capacity was lost for the rest of the run.
+    """
+
+    def test_grab_holds_unit_on_return(self, sim):
+        res = Resource(sim, capacity=1)
+        observed = []
+
+        def proc():
+            yield from res.grab()
+            observed.append(res.busy)
+            res.release()
+
+        sim.process(proc())
+        sim.run()
+        assert observed == [1]
+        assert res.busy == 0
+
+    def test_interrupt_while_queued_withdraws_request(self, sim):
+        from repro.errors import NodeCrashed
+
+        res = Resource(sim, capacity=1, name="cpu")
+
+        def holder():
+            yield from res.acquire(2.0)
+
+        def waiter():
+            try:
+                yield from res.grab()
+            except NodeCrashed:
+                return  # torn down while still queued
+            res.release()  # pragma: no cover - must not be granted
+
+        sim.process(holder())
+        victim = sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length == 1
+        assert victim.interrupt(NodeCrashed(0))
+        sim.run(until=1.001)
+        assert res.queue_length == 0
+
+        # The holder's release at t=2 must leave the unit free, not
+        # grant it to the interrupted waiter's dead event.
+        served = []
+
+        def successor():
+            yield from res.acquire(0.5)
+            served.append(sim.now)
+
+        sim.process(successor())
+        sim.run()
+        assert served == [pytest.approx(2.5)]
+        assert res.busy == 0
