@@ -1,0 +1,180 @@
+"""Compare a fresh perf snapshot against a committed baseline.
+
+Usage::
+
+    PYTHONPATH=src:. python -m benchmarks.perf.compare \
+        /tmp/bench_now.json --baseline BENCH_2026-08-08.json
+
+Exit status 1 when any common scale regressed by more than the
+tolerance, 0 otherwise.  A missing baseline is not an error: the first
+snapshot of a repository has nothing to compare against, and CI must
+not fail on that.
+
+The default tolerance is deliberately wide (15%): wall-clock noise on
+shared machines routinely reaches that level even with best-of-N
+timing.  A regression this check flags is therefore a real one; small
+regressions must be caught by regenerating the committed snapshot on
+the reference machine instead (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "SnapshotFormatError",
+    "compare_snapshots",
+    "find_latest_snapshot",
+    "load_snapshot",
+    "validate_snapshot",
+]
+
+_REQUIRED_TOP = ("schema", "date", "workload", "scales")
+_REQUIRED_SCALE = (
+    "num_nodes",
+    "events_processed",
+    "wall_clock_s",
+    "events_per_sec",
+    "peak_rss_kb",
+)
+
+
+class SnapshotFormatError(ValueError):
+    """A snapshot file does not match the BENCH schema."""
+
+
+def validate_snapshot(data: Dict[str, Any]) -> None:
+    """Raise :class:`SnapshotFormatError` unless ``data`` is a valid snapshot."""
+    for key in _REQUIRED_TOP:
+        if key not in data:
+            raise SnapshotFormatError(f"missing top-level key {key!r}")
+    if data["schema"] != 1:
+        raise SnapshotFormatError(f"unsupported schema version {data['schema']!r}")
+    date = data["date"]
+    if (
+        not isinstance(date, str)
+        or len(date) != 10
+        or date[4] != "-"
+        or date[7] != "-"
+        or not (date[:4] + date[5:7] + date[8:]).isdigit()
+    ):
+        raise SnapshotFormatError(f"date {date!r} is not YYYY-MM-DD")
+    scales = data["scales"]
+    if not isinstance(scales, dict) or not scales:
+        raise SnapshotFormatError("scales must be a non-empty object")
+    for name, entry in scales.items():
+        if not name.isdigit():
+            raise SnapshotFormatError(f"scale key {name!r} is not a node count")
+        for key in _REQUIRED_SCALE:
+            if key not in entry:
+                raise SnapshotFormatError(f"scale {name}: missing {key!r}")
+        if entry["num_nodes"] != int(name):
+            raise SnapshotFormatError(f"scale {name}: num_nodes mismatch")
+        if entry["events_processed"] <= 0:
+            raise SnapshotFormatError(f"scale {name}: events_processed must be > 0")
+        if entry["wall_clock_s"] <= 0 or entry["events_per_sec"] <= 0:
+            raise SnapshotFormatError(f"scale {name}: timings must be positive")
+
+
+def load_snapshot(path: Path) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    validate_snapshot(data)
+    return data
+
+
+def find_latest_snapshot(directory: Path) -> Optional[Path]:
+    """The lexically newest ``BENCH_*.json`` in ``directory``, if any.
+
+    Snapshot names embed an ISO date, so lexical order is date order.
+    """
+    candidates = sorted(directory.glob("BENCH_*.json"))
+    return candidates[-1] if candidates else None
+
+
+def compare_snapshots(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.15,
+) -> List[Dict[str, Any]]:
+    """Per-scale comparison rows; ``regressed`` set where it matters.
+
+    Scales present in only one snapshot are skipped: a snapshot taken
+    with ``--scales 8`` must still be comparable against a full one.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(current["scales"], key=int):
+        if name not in baseline["scales"]:
+            continue
+        cur = current["scales"][name]
+        base = baseline["scales"][name]
+        ratio = cur["events_per_sec"] / base["events_per_sec"]
+        rows.append(
+            {
+                "scale": int(name),
+                "current_events_per_sec": cur["events_per_sec"],
+                "baseline_events_per_sec": base["events_per_sec"],
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - tolerance,
+                "same_events": (
+                    cur["events_processed"] == base["events_processed"]
+                ),
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path, help="fresh snapshot JSON")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline snapshot (default: newest BENCH_*.json in --baseline-dir)",
+    )
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=Path("."),
+        help="directory searched for committed snapshots",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    args = parser.parse_args(argv)
+
+    current = load_snapshot(args.current)
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = find_latest_snapshot(args.baseline_dir)
+        if baseline_path is not None and baseline_path.resolve() == (
+            args.current.resolve()
+        ):
+            # Comparing the first committed snapshot against itself
+            # would always "pass"; treat it as no baseline instead.
+            baseline_path = None
+    if baseline_path is None:
+        print("no baseline snapshot found; nothing to compare", file=sys.stderr)
+        return 0
+    baseline = load_snapshot(baseline_path)
+
+    rows = compare_snapshots(current, baseline, tolerance=args.tolerance)
+    if not rows:
+        print("no common scales between snapshots", file=sys.stderr)
+        return 0
+    regressed = False
+    for row in rows:
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        regressed = regressed or row["regressed"]
+        drift = "" if row["same_events"] else "  [event count changed!]"
+        print(
+            f"{row['scale']:4d} nodes: {row['current_events_per_sec']:>12,.0f} ev/s"
+            f" vs {row['baseline_events_per_sec']:>12,.0f} ev/s"
+            f"  ({row['ratio']:.2f}x)  {verdict}{drift}"
+        )
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

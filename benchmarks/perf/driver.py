@@ -1,0 +1,158 @@
+"""Perf snapshot driver: measure engine throughput, emit BENCH JSON.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src:. python -m benchmarks.perf.driver \
+        --out BENCH_$(date +%F).json --date $(date +%F)
+
+The workload is the fig 4.6 operating point (GEM locking, affinity
+routing, NOFORCE, buffer 1000, arrival rate near 80% CPU utilization)
+run open-loop at a fixed arrival rate, so every snapshot simulates the
+identical event sequence per scale and wall-clock differences are pure
+engine speed.  Scales and windows are pinned here -- do not vary them
+between snapshots, or the numbers stop being comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from benchmarks.timing import time_best
+from repro.system.config import SystemConfig
+from repro.system.runner import run_simulation
+
+__all__ = ["SCALES", "SCHEMA_VERSION", "fig46_workload", "measure_scale", "snapshot"]
+
+SCHEMA_VERSION = 1
+
+#: Per-scale (warmup_time, measure_time) in simulated seconds.  Windows
+#: shrink with node count so a snapshot finishes in about a minute; the
+#: event totals per scale stay fixed across snapshots regardless.
+SCALES: Dict[int, Tuple[float, float]] = {
+    8: (0.5, 1.5),
+    64: (0.25, 0.75),
+    256: (0.1, 0.3),
+}
+
+#: The workload's fixed parameters (fig 4.6 operating point).
+WORKLOAD: Dict[str, Any] = {
+    "experiment": "fig46-style",
+    "coupling": "gem",
+    "routing": "affinity",
+    "update_strategy": "noforce",
+    "buffer_pages_per_node": 1000,
+    "arrival_rate_per_node": 170.0,
+    "random_seed": 42,
+}
+
+
+def fig46_workload(
+    num_nodes: int, warmup_time: float, measure_time: float
+) -> SystemConfig:
+    """The pinned benchmark configuration at ``num_nodes`` nodes."""
+    return SystemConfig(
+        num_nodes=num_nodes,
+        coupling=WORKLOAD["coupling"],
+        routing=WORKLOAD["routing"],
+        update_strategy=WORKLOAD["update_strategy"],
+        buffer_pages_per_node=WORKLOAD["buffer_pages_per_node"],
+        arrival_rate_per_node=WORKLOAD["arrival_rate_per_node"],
+        warmup_time=warmup_time,
+        measure_time=measure_time,
+        random_seed=WORKLOAD["random_seed"],
+    )
+
+
+def measure_scale(num_nodes: int, repeats: int = 3) -> Dict[str, Any]:
+    """Measure one scale; returns its snapshot entry."""
+    warmup_time, measure_time = SCALES[num_nodes]
+    config = fig46_workload(num_nodes, warmup_time, measure_time)
+    events = 0
+
+    def run() -> None:
+        nonlocal events
+        events = run_simulation(config).events_processed
+
+    timing = time_best(run, repeats=repeats, warmup=1)
+    return {
+        "num_nodes": num_nodes,
+        "warmup_time": warmup_time,
+        "measure_time": measure_time,
+        "repeats": repeats,
+        "events_processed": events,
+        "wall_clock_s": timing.best,
+        "events_per_sec": events / timing.best,
+        "wall_clock_runs_s": list(timing.runs),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def snapshot(
+    date: str,
+    scales: Sequence[int] = (8, 64, 256),
+    repeats: int = 3,
+    label: str = "",
+    baseline: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Measure all requested scales and assemble the snapshot dict.
+
+    ``date`` is supplied by the caller (shell ``date +%F``) rather than
+    read from the clock here, keeping the module itself clock-free.
+    """
+    result: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "date": date,
+        "label": label,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workload": dict(WORKLOAD),
+        "scales": {},
+    }
+    for num_nodes in scales:
+        if num_nodes not in SCALES:
+            raise ValueError(
+                f"unknown scale {num_nodes}; pinned scales: {sorted(SCALES)}"
+            )
+        entry = measure_scale(num_nodes, repeats=repeats)
+        result["scales"][str(num_nodes)] = entry
+        print(
+            f"  {num_nodes:4d} nodes: {entry['events_processed']:>9d} events, "
+            f"{entry['wall_clock_s']:.3f} s best, "
+            f"{entry['events_per_sec']:,.0f} events/s",
+            file=sys.stderr,
+        )
+    if baseline is not None:
+        result["baseline"] = baseline
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument(
+        "--date", required=True, help="snapshot date, YYYY-MM-DD (use date +%%F)"
+    )
+    parser.add_argument(
+        "--scales", type=int, nargs="+", default=[8, 64, 256],
+        help="node counts to measure (default: 8 64 256)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default="", help="free-form snapshot label")
+    args = parser.parse_args(argv)
+    result = snapshot(
+        args.date, scales=args.scales, repeats=args.repeats, label=args.label
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

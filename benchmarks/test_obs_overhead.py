@@ -7,9 +7,8 @@ few percent of an uninstrumented run.  The wall-clock guard is generous
 (timing noise on shared CI boxes); the structural assertions are exact.
 """
 
-import time
-
 from benchmarks.conftest import run_once
+from benchmarks.timing import time_best
 from repro.experiments import fig41
 from repro.obs import NULL_RECORDER
 from repro.obs.recorder import _NULL_SPAN
@@ -43,12 +42,7 @@ def test_disabled_overhead_under_five_percent(benchmark):
     run_simulation(config)  # warm caches/imports outside the timing
 
     def timed(cfg, repeats=3):
-        best = float("inf")
-        for _ in range(repeats):
-            started = time.perf_counter()
-            run_simulation(cfg)
-            best = min(best, time.perf_counter() - started)
-        return best
+        return time_best(lambda: run_simulation(cfg), repeats=repeats, warmup=0).best
 
     disabled = run_once(benchmark, lambda: timed(config))
     enabled = timed(config.replace(collect_breakdown=True))

@@ -59,6 +59,12 @@ class GemLockingProtocol(CCProtocol):
         self.detector = cluster.detector
         self.recorder = cluster.recorder
         self.glt = LockTable("glt")
+        # Hot-path config values, resolved once (SystemConfig attribute
+        # lookups on every entry access are measurable).
+        self._gem_entry_instr = self.config.instructions_per_gem_entry_op
+        self._lock_op_instr = self.config.instructions_per_lock_op
+        self._auth = self.config.gem_lock_authorizations
+        self._noforce = self.config.noforce
         self.lock_wait_time = Tally("gem.lock_wait")
         self.page_request_delay = Tally("gem.page_request_delay")
         self.page_requests = 0
@@ -82,15 +88,70 @@ class GemLockingProtocol(CCProtocol):
         ``txn_id`` attributes the time to that transaction's GEM phase
         (acquire path); release-path accesses pass None and stay inside
         the covering COMMIT/BACKOFF span.
+
+        This is the hottest protocol generator under GEM (two calls per
+        lock acquire/release), so the CPU grab is inlined and the span
+        context manager is skipped entirely when tracing is off.
         """
         cpu = self.cluster.nodes[node_id].cpu
-        with self.recorder.span(txn_id, phases.GEM):
-            yield from cpu.grab()
+        resource = cpu.resource
+        recorder = self.recorder
+        if recorder.enabled:
+            with recorder.span(txn_id, phases.GEM):
+                request = resource.request()
+                try:
+                    yield request
+                except BaseException:
+                    resource.cancel(request)
+                    raise
+                try:
+                    instr = count * self._gem_entry_instr
+                    cpu.instructions_executed += instr
+                    yield self.sim.timeout(instr / cpu.speed)
+                    gem = self.gem
+                    gem.entry_accesses += count
+                    server = gem.server
+                    greq = server.request()
+                    try:
+                        yield greq
+                    except BaseException:
+                        server.cancel(greq)
+                        raise
+                    try:
+                        yield self.sim.timeout(count * gem.entry_access_time)
+                    finally:
+                        server.release()
+                finally:
+                    resource.release()
+        else:
+            request = resource.request()
             try:
-                yield cpu.busy_work(count * self.config.instructions_per_gem_entry_op)
-                yield from self.gem.access_entries(count)
+                yield request
+            except BaseException:
+                resource.cancel(request)
+                raise
+            try:
+                instr = count * self._gem_entry_instr
+                cpu.instructions_executed += instr
+                yield self.sim.timeout(instr / cpu.speed)
+                # Inlined self.gem.access_entries(count) (the server's
+                # acquire generator): saves a frame per resume on the
+                # hottest protocol path.
+                gem = self.gem
+                gem.entry_accesses += count
+                server = gem.server
+                greq = server.request()
+                try:
+                    yield greq
+                except BaseException:
+                    server.cancel(greq)
+                    raise
+                try:
+                    yield self.sim.timeout(count * gem.entry_access_time)
+                finally:
+                    server.release()
             finally:
-                cpu.release()
+                resource.release()
 
     # -- lock acquisition ------------------------------------------------------
 
@@ -104,32 +165,34 @@ class GemLockingProtocol(CCProtocol):
         node_id = txn.node
         node = self.cluster.nodes[node_id]
         mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
-        authorized = (
-            self.config.gem_lock_authorizations and page in node.gem_auth
-        )
+        authorized = self._auth and page in node.gem_auth
         if authorized:
             # Sole-interest refinement (section 2): the local lock
             # manager processes the request without any GEM access.
             self.authorized_lock_requests += 1
-            yield from node.cpu.consume(self.config.instructions_per_lock_op)
+            yield from node.cpu.consume(self._lock_op_instr)
         else:
             # Read the GLT entry and write back the updated value
             # (grant registered, or wait registered on conflict).
             yield from self._entry_ops(node_id, 2, txn_id=txn.txn_id)
-            if self.config.gem_lock_authorizations:
+            if self._auth:
                 holder = min(self.glt.entry(page).auth_nodes, default=None)
                 if holder is not None and holder != node_id:
                     with self.recorder.span(txn.txn_id, phases.COMM):
                         yield from self._revoke_authorization(node, page, holder)
-        wait_event = self.sim.event()
         txn_id = txn.txn_id
+        # Created lazily: immediate grants (the common case) never
+        # invoke on_grant, so the wait event would be garbage.
+        wait_event: Optional[Event] = None
 
         def on_grant() -> None:
             self.detector.clear(txn_id)
+            assert wait_event is not None  # created before any queueing
             wait_event.succeed()
 
         granted = self.glt.request(txn_id, page, mode, on_grant)
         if not granted:
+            wait_event = self.sim.event()
             blocked_at = self.sim.now
 
             def abort_victim() -> None:
@@ -149,7 +212,7 @@ class GemLockingProtocol(CCProtocol):
         txn.local_lock_requests += 1
         entry = self.glt.entry(page)
         if (
-            self.config.gem_lock_authorizations
+            self._auth
             and not authorized
             and len(entry.holders) == 1
             and not entry.queue
@@ -159,7 +222,7 @@ class GemLockingProtocol(CCProtocol):
             entry.auth_nodes.add(node_id)
             node.gem_auth.add(page)
         owner = entry.owner
-        if self.config.noforce and owner is not None and owner != node_id:
+        if self._noforce and owner is not None and owner != node_id:
             faults = self.cluster.faults
             if faults is None or not faults.is_down(owner):
                 return LockGrant(
@@ -304,19 +367,19 @@ class GemLockingProtocol(CCProtocol):
     def commit_release(self, txn: Transaction) -> Generator[Event, Any, None]:
         node_id = txn.node
         node = self.cluster.nodes[node_id]
-        for page in list(txn.held_locks):
-            authorized = (
-                self.config.gem_lock_authorizations and page in node.gem_auth
-            )
+        # No defensive copy: only the owning transaction's process
+        # mutates held_locks, and it is suspended in this generator.
+        for page in txn.held_locks:
+            authorized = self._auth and page in node.gem_auth
             if authorized:
-                yield from node.cpu.consume(self.config.instructions_per_lock_op)
+                yield from node.cpu.consume(self._lock_op_instr)
             else:
                 yield from self._entry_ops(node_id, 2)
             entry = self.glt.entry(page)
             new_version = txn.modified.get(page)
             if new_version is not None:
                 entry.seqno = new_version
-                entry.owner = node_id if self.config.noforce else None
+                entry.owner = node_id if self._noforce else None
             granted = self.glt.release(txn.txn_id, page)
             if granted and not authorized:
                 # One grant-notification entry write per woken waiter.
@@ -326,12 +389,10 @@ class GemLockingProtocol(CCProtocol):
     def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
         node_id = txn.node
         node = self.cluster.nodes[node_id]
-        for page in list(txn.held_locks):
-            authorized = (
-                self.config.gem_lock_authorizations and page in node.gem_auth
-            )
+        for page in txn.held_locks:
+            authorized = self._auth and page in node.gem_auth
             if authorized:
-                yield from node.cpu.consume(self.config.instructions_per_lock_op)
+                yield from node.cpu.consume(self._lock_op_instr)
             else:
                 yield from self._entry_ops(node_id, 2)
             granted = self.glt.release(txn.txn_id, page)
@@ -388,7 +449,14 @@ class GemLockingProtocol(CCProtocol):
         coord_node = self.cluster.nodes[coord]
         ledger = self.cluster.ledger
         for txn in record.killed:
-            for page in sorted(txn.held_locks):
+            # The GLT is authoritative: a lock granted in the table just
+            # before the crash may never have reached txn.held_locks
+            # (the requester died between the table grant and its local
+            # registration), so scan the table rather than trust the
+            # dead transaction's bookkeeping.
+            pages = set(txn.held_locks)
+            pages.update(self.glt.held_pages(txn.txn_id))
+            for page in sorted(pages):
                 if self.glt.holds(txn.txn_id, page) is None:
                     continue
                 yield from self._entry_ops(coord, 2)

@@ -38,6 +38,7 @@ from typing import (
     Callable,
     Dict,
     Generator,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -89,8 +90,18 @@ class PrimaryCopyProtocol(CCProtocol):
         self.tables: List[LockTable] = [
             LockTable(f"gla{n}") for n in range(cluster.config.num_nodes)
         ]
+        # Hot-path config values, resolved once.
+        self._lock_op_instr = self.config.instructions_per_lock_op
+        self._noforce = self.config.noforce
+        self._read_opt = self.config.pcl_read_optimization
         self.lock_wait_time = Tally("pcl.lock_wait")
         self.remote_grant_delay = Tally("pcl.remote_grant_delay")
+        #: txn_id -> home node, recorded at grant time.  Failover uses
+        #: it to find every lock a dead node's transactions left behind
+        #: -- including locks of *completed* transactions whose release
+        #: message was dropped by the crash (txn.held_locks of killed
+        #: transactions alone cannot see those).
+        self._holder_home: Dict[int, int] = {}
         self.local_lock_requests = 0
         self.remote_lock_requests = 0
         self.auth_read_locks = 0
@@ -131,7 +142,7 @@ class PrimaryCopyProtocol(CCProtocol):
             node = self.cluster.nodes[node_id]
             if (
                 not write
-                and self.config.pcl_read_optimization
+                and self._read_opt
                 and page in node.auth_cache
             ):
                 grant = yield from self._acquire_authorized_read(txn, page, home)
@@ -158,8 +169,9 @@ class PrimaryCopyProtocol(CCProtocol):
         txn.local_lock_requests += 1
         node = self.cluster.nodes[txn.node]
         table = self.tables[home]
-        yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        yield from node.cpu.consume(self._lock_op_instr)
         yield from self._table_request(txn.txn_id, table, page, mode)
+        self._note_holder(txn.txn_id, txn.node)
         entry = table.entry(page)
         if mode is LockMode.EXCLUSIVE:
             with self.recorder.span(txn.txn_id, phases.COMM):
@@ -181,8 +193,9 @@ class PrimaryCopyProtocol(CCProtocol):
         node = self.cluster.nodes[txn.node]
         table = self.tables[home]
         already_held = table.holds(txn.txn_id, page) is not None
-        yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        yield from node.cpu.consume(self._lock_op_instr)
         yield from self._table_request(txn.txn_id, table, page, LockMode.SHARED)
+        self._note_holder(txn.txn_id, txn.node)
         entry = table.entry(page)
         if not node.buffer.has_current_version(page, entry.seqno):
             # Copy missing or stale: fall back to a remote request
@@ -271,7 +284,7 @@ class PrimaryCopyProtocol(CCProtocol):
         reply: Event = payload["reply"]
         home = payload.get("home", node.node_id)
         table = self.tables[home]
-        yield from node.cpu.consume(self.config.instructions_per_lock_op)
+        yield from node.cpu.consume(self._lock_op_instr)
         try:
             yield from self._table_request(
                 txn_id, table, page, mode, phase=phases.LOCK_GLOBAL
@@ -282,6 +295,15 @@ class PrimaryCopyProtocol(CCProtocol):
                 requester, "lock_rsp", refusal, reply_event=reply
             )
             return
+        faults = self.cluster.faults
+        if faults is not None and faults.is_down(requester):
+            # The requester died while the request waited in the table:
+            # the grant can never be delivered, and crash recovery may
+            # already have run (it cannot see a grant that happens after
+            # its table scan), so give the lock straight back.
+            table.release(txn_id, page)
+            return
+        self._note_holder(txn_id, requester)
         entry = table.entry(page)
         if mode is LockMode.EXCLUSIVE:
             yield from self._revoke_authorizations(node, page, entry, requester)
@@ -292,11 +314,11 @@ class PrimaryCopyProtocol(CCProtocol):
         # Clean copies imply the permanent database is current, so the
         # requester reads storage as usual.
         supplied = (
-            self.config.noforce
+            self._noforce
             and payload["cached_version"] != seqno
             and node.buffer.has_current_dirty(page, seqno)
         )
-        auth = self.config.pcl_read_optimization and mode is LockMode.SHARED
+        auth = self._read_opt and mode is LockMode.SHARED
         if auth:
             entry.auth_nodes.add(requester)
         grant: LockResponsePayload = {
@@ -308,6 +330,27 @@ class PrimaryCopyProtocol(CCProtocol):
             requester, "lock_rsp", grant, long=supplied, reply_event=reply
         )
 
+    def _note_holder(self, txn_id: int, node_id: int) -> None:
+        """Record a lock holder's home node for crash recovery.
+
+        The map is compacted (entries whose transaction no longer
+        appears in any table are dropped) when it grows large, so its
+        size tracks the number of in-flight registrations rather than
+        the total transaction count of the run.
+        """
+        homes = self._holder_home
+        if len(homes) >= 65536:
+            held = set()
+            for table in self.tables:
+                for entry in table._entries.values():
+                    held.update(entry.holders)
+                    for request in entry.queue:
+                        held.add(request.txn)
+            self._holder_home = homes = {
+                t: n for t, n in homes.items() if t in held
+            }
+        homes[txn_id] = node_id
+
     def _table_request(
         self,
         txn_id: int,
@@ -315,7 +358,7 @@ class PrimaryCopyProtocol(CCProtocol):
         page: PageId,
         mode: LockMode,
         phase: str = phases.LOCK_LOCAL,
-    ) -> Generator[Event, Any, None]:
+    ) -> Iterator[Event]:
         """Request a lock in ``table``, waiting (with deadlock handling).
 
         ``phase`` classifies a blocked wait for the response-time
@@ -323,15 +366,32 @@ class PrimaryCopyProtocol(CCProtocol):
         LOCK_GLOBAL so the wait is charged to the *requesting*
         transaction as a global lock wait (its process is suspended
         inside a COMM span meanwhile, so the retag nests correctly).
+
+        Immediate grants (the common case) return an empty iterator --
+        no wait event is allocated and the caller's ``yield from``
+        never suspends; only a genuine conflict returns the waiting
+        generator.
         """
-        wait_event = self.sim.event()
+        wait_event: Optional[Event] = None
 
         def on_grant() -> None:
             self.detector.clear(txn_id)
+            assert wait_event is not None  # created before any queueing
             wait_event.succeed()
 
         if table.request(txn_id, page, mode, on_grant):
-            return
+            return iter(())
+        wait_event = self.sim.event()
+        return self._table_wait(txn_id, table, page, wait_event, phase)
+
+    def _table_wait(
+        self,
+        txn_id: int,
+        table: LockTable,
+        page: PageId,
+        wait_event: Event,
+        phase: str,
+    ) -> Generator[Event, Any, None]:
         blocked_at = self.sim.now
 
         def abort_victim() -> None:
@@ -411,7 +471,9 @@ class PrimaryCopyProtocol(CCProtocol):
                 if home not in hosts:
                     hosts[home] = yield from faults.resolve_gla(home)
         remote_groups: Dict[Tuple[int, int], List[Tuple[PageId, Optional[int]]]] = {}
-        for page in list(txn.held_locks):
+        # No defensive copy: only the owning transaction's process
+        # mutates held_locks, and it is suspended in this generator.
+        for page in txn.held_locks:
             new_version = txn.modified.get(page) if commit else None
             home = self.gla_map(page)
             host = hosts.get(home, home)
@@ -427,7 +489,7 @@ class PrimaryCopyProtocol(CCProtocol):
         txn.auth_read_pages.clear()
         for (host, home), pages in remote_groups.items():
             modified = [(p, v) for p, v in pages if v is not None]
-            long = self.config.noforce and bool(modified)
+            long = self._noforce and bool(modified)
             if long:
                 self.pages_shipped_with_release += len(modified)
                 # The shipped pages are no longer this node's write
@@ -608,20 +670,35 @@ class PrimaryCopyProtocol(CCProtocol):
         # 2. Release what the dead node's transactions held at surviving
         # partitions (the dead partition's table is rebuilt from
         # scratch, so only surviving tables need explicit cleanup).
-        for txn in record.killed:
-            for page in sorted(txn.held_locks):
-                gla = self.gla_map(page)
-                if gla == home:
+        # The tables are authoritative, not txn.held_locks: a grant
+        # registered at a surviving GLA just before the crash may never
+        # have reached the requester, and a transaction that *completed*
+        # on the dead node may have had its release message dropped by
+        # the crash.  Both leave table state only recovery can reclaim,
+        # so release everything held on behalf of a transaction homed at
+        # the dead node (per the grant-time provenance map).
+        dead_ids = {txn.txn_id for txn in record.killed}
+        for gla_id, gla_table in enumerate(self.tables):
+            if gla_id == home:
+                continue
+            for entry in gla_table._entries.values():
+                for txn_id in entry.holders:
+                    if self._holder_home.get(txn_id) == home:
+                        dead_ids.add(txn_id)
+        for txn_id in sorted(dead_ids):
+            for gla_id, gla_table in enumerate(self.tables):
+                if gla_id == home:
                     continue
-                table = self.tables[gla]
-                if table.holds(txn.txn_id, page) is None:
-                    continue
-                yield from cluster.nodes[gla].cpu.consume(
-                    cfg.recovery_instructions_per_lock
-                )
-                entry = table.entry(page)
-                entry.seqno = max(entry.seqno, ledger.committed_version(page))
-                table.release(txn.txn_id, page)
+                for page in sorted(gla_table.held_pages(txn_id)):
+                    yield from cluster.nodes[gla_id].cpu.consume(
+                        cfg.recovery_instructions_per_lock
+                    )
+                    entry = gla_table.entry(page)
+                    entry.seqno = max(
+                        entry.seqno, ledger.committed_version(page)
+                    )
+                    gla_table.release(txn_id, page)
+            self._holder_home.pop(txn_id, None)
         # 3. State exchange: one long message per other survivor, plus
         # per-registration reconstruction CPU at the replacement.  The
         # partition is fenced, so the registration set is stable.

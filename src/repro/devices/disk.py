@@ -96,16 +96,26 @@ class DiskArray:
     # -- public I/O operations ---------------------------------------------
 
     def read(self, page: PageId) -> Generator[Event, Any, int]:
-        """Read ``page``; returns the version found on permanent storage."""
+        """Read ``page``; returns the version found on permanent storage.
+
+        ``_controller_and_transfer`` / ``_disk_service`` are inlined
+        here (and in :meth:`write`): disk I/O resumes this frame several
+        times per access and each delegation level adds a frame walk.
+        """
         self.reads += 1
-        if self.cache is not None and self.cache.lookup_for_read(page):
-            yield from self._controller_and_transfer()
-        else:
-            yield from self._controller_and_transfer()
-            yield from self._disk_service(page)
+        cache = self.cache
+        hit = cache is not None and cache.lookup_for_read(page)
+        yield from self.controllers.acquire(
+            self.stream.exponential(self.controller_time)
+        )
+        yield self.sim.timeout(self.transfer_time)
+        if not hit:
+            yield from self._disk_for(page).acquire(
+                self.stream.exponential(self.disk_time)
+            )
             self.disk_reads += 1
-            if self.cache is not None:
-                self.cache.insert(page, dirty=False)
+            if cache is not None:
+                cache.insert(page, dirty=False)
         return self.ledger.storage_version(page)
 
     def write(self, page: PageId, version: Optional[int]) -> Generator[Event, Any, None]:
@@ -117,15 +127,19 @@ class DiskArray:
         timing without ledger bookkeeping (log writes).
         """
         self.writes += 1
-        if self.cache is not None and self.cache.note_write(page):
-            yield from self._controller_and_transfer()
+        cache = self.cache
+        absorbed = cache is not None and cache.note_write(page)
+        yield from self.controllers.acquire(
+            self.stream.exponential(self.controller_time)
+        )
+        yield self.sim.timeout(self.transfer_time)
+        if absorbed:
             if version is not None:
                 self.ledger.write_storage(page, version)
             assert self._destage_queue is not None
             self._destage_queue.put(page)
             return
-        yield from self._controller_and_transfer()
-        yield from self._disk_service(page)
+        yield from self._disk_for(page).acquire(self.stream.exponential(self.disk_time))
         self.disk_writes += 1
         if version is not None:
             self.ledger.write_storage(page, version)

@@ -10,7 +10,7 @@ responsible for holding a CPU unit around :meth:`access_page` /
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Iterator
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource
@@ -42,24 +42,29 @@ class GemDevice:
         self.page_accesses = 0
         self.entry_accesses = 0
 
-    def access_page(self) -> Generator[Event, Any, None]:
-        """One synchronous page read or write (caller holds its CPU)."""
-        self.page_accesses += 1
-        yield from self.server.acquire(self.page_access_time)
+    def access_page(self) -> Iterator[Event]:
+        """One synchronous page read or write (caller holds its CPU).
 
-    def access_entry(self) -> Generator[Event, Any, None]:
+        Returns the server's acquire generator directly (callers
+        delegate with ``yield from``); the wrapper frame would be
+        resumed on every event otherwise.
+        """
+        self.page_accesses += 1
+        return self.server.acquire(self.page_access_time)
+
+    def access_entry(self) -> Iterator[Event]:
         """One synchronous entry read or Compare&Swap write."""
         self.entry_accesses += 1
-        yield from self.server.acquire(self.entry_access_time)
+        return self.server.acquire(self.entry_access_time)
 
-    def access_entries(self, count: int) -> Generator[Event, Any, None]:
+    def access_entries(self, count: int) -> Iterator[Event]:
         """``count`` back-to-back entry accesses (held as one service)."""
         if count < 0:
             raise ValueError("count must be non-negative")
         if count == 0:
-            return
+            return iter(())
         self.entry_accesses += count
-        yield from self.server.acquire(count * self.entry_access_time)
+        return self.server.acquire(count * self.entry_access_time)
 
     def utilization(self) -> float:
         return self.server.utilization()

@@ -90,12 +90,36 @@ class StorageDirectory:
             yield from self.faults.wait_redo(page)
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
-            yield from cpu.grab()
+            # Inlined cpu.grab(): one less generator frame per
+            # synchronous GEM access.
+            request = cpu.resource.request()
             try:
-                yield cpu.busy_work(self.instructions_per_gem_io)
-                yield from backend.access_page()
+                yield request
+            except BaseException:
+                cpu.resource.cancel(request)
+                raise
+            try:
+                gio = self.instructions_per_gem_io
+                cpu.instructions_executed += gio
+                yield self.sim.timeout(gio / cpu.speed)
+                # Inlined backend.access_page() (the server's acquire
+                # generator): one frame less on every resume of a
+                # synchronous GEM access.
+                gem = backend
+                gem.page_accesses += 1
+                server = gem.server
+                greq = server.request()
+                try:
+                    yield greq
+                except BaseException:
+                    server.cancel(greq)
+                    raise
+                try:
+                    yield self.sim.timeout(gem.page_access_time)
+                finally:
+                    server.release()
             finally:
-                cpu.release()
+                cpu.resource.release()
             return self.ledger.storage_version(page)
         yield from cpu.consume(self.instructions_per_io)
         version = yield from backend.read(page)
@@ -111,12 +135,36 @@ class StorageDirectory:
         """
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
-            yield from cpu.grab()
+            # Inlined cpu.grab(): one less generator frame per
+            # synchronous GEM access.
+            request = cpu.resource.request()
             try:
-                yield cpu.busy_work(self.instructions_per_gem_io)
-                yield from backend.access_page()
+                yield request
+            except BaseException:
+                cpu.resource.cancel(request)
+                raise
+            try:
+                gio = self.instructions_per_gem_io
+                cpu.instructions_executed += gio
+                yield self.sim.timeout(gio / cpu.speed)
+                # Inlined backend.access_page() (the server's acquire
+                # generator): one frame less on every resume of a
+                # synchronous GEM access.
+                gem = backend
+                gem.page_accesses += 1
+                server = gem.server
+                greq = server.request()
+                try:
+                    yield greq
+                except BaseException:
+                    server.cancel(greq)
+                    raise
+                try:
+                    yield self.sim.timeout(gem.page_access_time)
+                finally:
+                    server.release()
             finally:
-                cpu.release()
+                cpu.resource.release()
             if version is not None:
                 self.ledger.write_storage(page, version)
             return
@@ -124,12 +172,36 @@ class StorageDirectory:
         if write_buffer is not None:
             # GEM write buffer: the write is durable after a synchronous
             # GEM page access; the disk copy is updated asynchronously.
-            yield from cpu.grab()
+            # Inlined cpu.grab(): one less generator frame per
+            # synchronous GEM access.
+            request = cpu.resource.request()
             try:
-                yield cpu.busy_work(self.instructions_per_gem_io)
-                yield from write_buffer.access_page()
+                yield request
+            except BaseException:
+                cpu.resource.cancel(request)
+                raise
+            try:
+                gio = self.instructions_per_gem_io
+                cpu.instructions_executed += gio
+                yield self.sim.timeout(gio / cpu.speed)
+                # Inlined write_buffer.access_page() (the server's acquire
+                # generator): one frame less on every resume of a
+                # synchronous GEM access.
+                gem = write_buffer
+                gem.page_accesses += 1
+                server = gem.server
+                greq = server.request()
+                try:
+                    yield greq
+                except BaseException:
+                    server.cancel(greq)
+                    raise
+                try:
+                    yield self.sim.timeout(gem.page_access_time)
+                finally:
+                    server.release()
             finally:
-                cpu.release()
+                cpu.resource.release()
             if version is not None:
                 self.ledger.write_storage(page, version)
             self.sim.process(self._destage(backend, page), name="gem-wbuf-destage")
@@ -149,12 +221,36 @@ class StorageDirectory:
         node's log -- charged to the recovering node's CPU.
         """
         if self._log_gem is not None:
-            yield from cpu.grab()
+            # Inlined cpu.grab(): one less generator frame per
+            # synchronous GEM access.
+            request = cpu.resource.request()
             try:
-                yield cpu.busy_work(self.instructions_per_gem_io)
-                yield from self._log_gem.access_page()
+                yield request
+            except BaseException:
+                cpu.resource.cancel(request)
+                raise
+            try:
+                gio = self.instructions_per_gem_io
+                cpu.instructions_executed += gio
+                yield self.sim.timeout(gio / cpu.speed)
+                # Inlined self._log_gem.access_page() (the server's acquire
+                # generator): one frame less on every resume of a
+                # synchronous GEM access.
+                gem = self._log_gem
+                gem.page_accesses += 1
+                server = gem.server
+                greq = server.request()
+                try:
+                    yield greq
+                except BaseException:
+                    server.cancel(greq)
+                    raise
+                try:
+                    yield self.sim.timeout(gem.page_access_time)
+                finally:
+                    server.release()
             finally:
-                cpu.release()
+                cpu.resource.release()
             return
         log_disk = self._log_disks[node_id]
         yield from cpu.consume(self.instructions_per_io)
@@ -168,12 +264,36 @@ class StorageDirectory:
         durable and more than two orders of magnitude faster).
         """
         if self._log_gem is not None:
-            yield from cpu.grab()
+            # Inlined cpu.grab(): one less generator frame per
+            # synchronous GEM access.
+            request = cpu.resource.request()
             try:
-                yield cpu.busy_work(self.instructions_per_gem_io)
-                yield from self._log_gem.access_page()
+                yield request
+            except BaseException:
+                cpu.resource.cancel(request)
+                raise
+            try:
+                gio = self.instructions_per_gem_io
+                cpu.instructions_executed += gio
+                yield self.sim.timeout(gio / cpu.speed)
+                # Inlined self._log_gem.access_page() (the server's acquire
+                # generator): one frame less on every resume of a
+                # synchronous GEM access.
+                gem = self._log_gem
+                gem.page_accesses += 1
+                server = gem.server
+                greq = server.request()
+                try:
+                    yield greq
+                except BaseException:
+                    server.cancel(greq)
+                    raise
+                try:
+                    yield self.sim.timeout(gem.page_access_time)
+                finally:
+                    server.release()
             finally:
-                cpu.release()
+                cpu.resource.release()
             return
         log_disk = self._log_disks[node_id]
         yield from cpu.consume(self.instructions_per_io)

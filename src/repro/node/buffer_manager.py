@@ -26,7 +26,17 @@ silently wrong result.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.cc.base import LockGrant, PageSource
 from repro.db.pages import CoherencyError, PageId, VersionLedger
@@ -190,8 +200,16 @@ class BufferManager:
         txn: Transaction,
         page_access: PageAccess,
         grant: Optional[LockGrant],
-    ) -> Generator[Event, Any, None]:
-        """Bring the page into the buffer and apply the access."""
+    ) -> Iterator[Event]:
+        """Bring the page into the buffer and apply the access.
+
+        Buffer hits complete synchronously, so this is a plain function
+        returning an empty iterator on the hit path (callers delegate
+        with ``yield from``, which exhausts it without suspending); only
+        a miss returns a real generator.  The synchronous prefix runs at
+        call time, which under ``yield from`` is the same instant the
+        generator body would have started.
+        """
         page = page_access.page
         first_touch = page not in txn.touched_pages
         txn.touched_pages.add(page)
@@ -199,8 +217,7 @@ class BufferManager:
         if first_touch:
             stats.accesses += 1
         if not page_access.lockable:
-            yield from self._access_unlocked(txn, page_access, stats, first_touch)
-            return
+            return self._access_unlocked(txn, page_access, stats, first_touch)
         expected = self._expected_version(txn, page, grant)
         frame = self._frames.get(page)
         if frame is not None:
@@ -208,23 +225,59 @@ class BufferManager:
                 if first_touch:
                     stats.hits += 1
                 self._frames.move_to_end(page)
-            elif frame.version > expected:
+                if page_access.write:
+                    self._apply_write(txn, page, expected)
+                return iter(())
+            if frame.version > expected:
                 raise CoherencyError(
                     f"node {self.node.node_id} caches page {page} version "
                     f"{frame.version}, newer than promised {expected}"
                 )
+            # Buffer invalidation: cached copy is obsolete.
+            stats.invalidations += 1
+            stats.misses += 1
+            self._drop_stale_frame(page, frame)
+        elif first_touch:
+            stats.misses += 1
+        return self._access_miss(txn, page_access, expected, grant)
+
+    def _access_miss(
+        self,
+        txn: Transaction,
+        page_access: PageAccess,
+        expected: int,
+        grant: Optional[LockGrant],
+    ) -> Generator[Event, Any, None]:
+        # ``_fetch`` is inlined here: the miss path is the deepest
+        # yield-from chain in the model (lifecycle -> buffer -> storage
+        # -> device) and every removed level takes one frame walk off
+        # every resume of the transaction.
+        page = page_access.page
+        with self.node.recorder.span(txn.txn_id, phases.IO):
+            if grant is not None and grant.page_supplied:
+                # Current version arrived with the lock grant
+                # (PCL+NOFORCE); the transfer delay was part of the
+                # grant message exchange.
+                yield from self._insert(page, expected, dirty=False)
             else:
-                # Buffer invalidation: cached copy is obsolete.
-                stats.invalidations += 1
-                stats.misses += 1
-                self._drop_stale_frame(page, frame)
-                frame = None
-        else:
-            if first_touch:
-                stats.misses += 1
-        if frame is None:
-            with self.node.recorder.span(txn.txn_id, phases.IO):
-                yield from self._fetch(txn, page, expected, grant)
+                version: Optional[int] = None
+                if grant is not None and grant.source is PageSource.OWNER:
+                    txn.page_requests += 1
+                    version = yield from self.node.protocol.request_page_from_owner(
+                        txn, page, grant
+                    )
+                    if version is not None and version != expected:
+                        raise CoherencyError(
+                            f"owner supplied page {page} version {version}, "
+                            f"expected {expected}"
+                        )
+                    # On ``None`` the ownership lapsed (owner wrote the
+                    # page out); fall through to a storage read, which
+                    # is guaranteed current again.
+                if version is None:
+                    version = yield from self.node.storage.read(page, self.node.cpu)
+                    self.ledger.check_storage_current(page, expected)
+                yield from self._insert(page, version, dirty=False)
         if page_access.write:
             self._apply_write(txn, page, expected)
 
@@ -288,37 +341,6 @@ class BufferManager:
             # will notice the frame vanished and leave it dropped.
             pass
         del self._frames[page]
-
-    def _fetch(
-        self,
-        txn: Transaction,
-        page: PageId,
-        expected: int,
-        grant: Optional[LockGrant],
-    ) -> Generator[Event, Any, None]:
-        if grant is not None and grant.page_supplied:
-            # Current version arrived with the lock grant (PCL+NOFORCE);
-            # the transfer delay was part of the grant message exchange.
-            yield from self._insert(page, expected, dirty=False)
-            return
-        if grant is not None and grant.source is PageSource.OWNER:
-            txn.page_requests += 1
-            version = yield from self.node.protocol.request_page_from_owner(
-                txn, page, grant
-            )
-            if version is not None:
-                if version != expected:
-                    raise CoherencyError(
-                        f"owner supplied page {page} version {version}, "
-                        f"expected {expected}"
-                    )
-                yield from self._insert(page, version, dirty=False)
-                return
-            # Ownership lapsed (owner wrote the page out); fall through
-            # to a storage read, which is guaranteed current again.
-        version = yield from self.node.storage.read(page, self.node.cpu)
-        self.ledger.check_storage_current(page, expected)
-        yield from self._insert(page, version, dirty=False)
 
     def _apply_write(self, txn: Transaction, page: PageId, expected: int) -> None:
         frame = self._frames.get(page)

@@ -83,7 +83,9 @@ class CommSubsystem:
             self.sent_long += 1
         else:
             self.sent_short += 1
-        yield from self.node.cpu.consume(self._overhead(long))
+        yield from self.node.cpu.consume(
+            self.instr_long if long else self.instr_short
+        )
         self.sim.process(self._deliver(message), name=f"deliver-{kind}")
 
     def _deliver(self, message: Message) -> Generator[Event, Any, None]:
@@ -99,8 +101,9 @@ class CommSubsystem:
             # manager were already answered with a crash sentinel.
             return
         dst_node = self.cluster.nodes[message.dst]
+        dst_comm = dst_node.comm
         yield from dst_node.cpu.consume(
-            dst_node.comm._overhead(message.long)
+            dst_comm.instr_long if message.long else dst_comm.instr_short
         )
         if message.reply_event is not None:
             if faults is not None and message.reply_event.triggered:

@@ -13,7 +13,7 @@ CPU unit across such a compound operation.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Iterator, Optional
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Resource
@@ -46,21 +46,30 @@ class CpuPool:
     def service_time(self, instructions: float) -> float:
         return instructions / self.speed
 
-    def consume(self, instructions: float) -> Generator[Event, Any, None]:
-        """Execute a fixed number of instructions on one CPU."""
+    def consume(self, instructions: float) -> Iterator[Event]:
+        """Execute a fixed number of instructions on one CPU.
+
+        Returns the resource's acquire generator directly rather than
+        wrapping it: every caller delegates with ``yield from``, and the
+        extra generator frame would be resumed on every event.  The
+        zero-work case returns an empty iterator, which ``yield from``
+        exhausts without ever suspending (so no value is ever sent into
+        the non-generator iterator).
+        """
         if instructions < 0:
             raise ValueError("instructions must be non-negative")
         if instructions == 0:
-            return
+            return iter(())
         self.instructions_executed += instructions
-        yield from self.resource.acquire(self.service_time(instructions))
+        return self.resource.acquire(instructions / self.speed)
 
-    def consume_exp(self, mean_instructions: float) -> Generator[Event, Any, None]:
+    def consume_exp(self, mean_instructions: float) -> Iterator[Event]:
         """Execute an exponentially distributed number of instructions."""
         instructions = self.stream.exponential(mean_instructions)
         self.instructions_executed += instructions
         if instructions:
-            yield from self.resource.acquire(self.service_time(instructions))
+            return self.resource.acquire(instructions / self.speed)
+        return iter(())
 
     # -- compound operations (synchronous GEM access) -------------------
 
@@ -68,9 +77,9 @@ class CpuPool:
         """Acquire one CPU unit; pair with :meth:`release`."""
         return self.resource.request()
 
-    def grab(self) -> Generator[Event, Any, None]:
+    def grab(self) -> Iterator[Event]:
         """Wait for one CPU unit, cancel-safe; pair with :meth:`release`."""
-        yield from self.resource.grab()
+        return self.resource.grab()
 
     def release(self) -> None:
         self.resource.release()

@@ -21,7 +21,7 @@ from typing import Any, Dict, Generator, Tuple, TYPE_CHECKING
 from repro.cc.base import LockGrant
 from repro.errors import NodeCrashed, TransactionAborted
 from repro.obs import phases
-from repro.sim.engine import Event, Process
+from repro.sim.engine import Event, Process, Timeout
 from repro.workload.transaction import PageAccess, Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +42,13 @@ class TransactionManager:
         self.stream = node.cluster.streams.stream(f"tm-{node.node_id}")
         profile = node.cluster.instruction_profile
         self.instr_bot, self.instr_per_access, self.instr_eot = profile
+        if min(profile) < 0:
+            raise ValueError(f"negative instruction count in profile: {profile!r}")
+        # Precomputed exponential rates for the inlined CPU draws in
+        # ``_lifecycle``; 0.0 marks a zero-work phase (no RNG draw).
+        self._rate_bot = 1.0 / self.instr_bot if self.instr_bot else 0.0
+        self._rate_access = 1.0 / self.instr_per_access if self.instr_per_access else 0.0
+        self._rate_eot = 1.0 / self.instr_eot if self.instr_eot else 0.0
         #: In-flight transactions: txn_id -> (txn, lifecycle process).
         #: The fault manager interrupts these when the node crashes.
         self.active: Dict[int, Tuple[Transaction, Process]] = {}
@@ -57,65 +64,122 @@ class TransactionManager:
             self.active[txn.txn_id] = (txn, proc)
 
     def _lifecycle(self, txn: Transaction) -> Generator[Event, Any, None]:
+        # Admission, the execute/restart loop and commit are one flat
+        # generator: this frame is resumed for every event the
+        # transaction waits on, and each level of ``yield from``
+        # delegation adds a frame walk to every resume.
+        node = self.node
+        sim = self.sim
+        recorder = node.recorder
         try:
-            yield from self._admitted(txn)
+            request = node.mpl.request()
+            try:
+                with recorder.span(txn.txn_id, phases.INPUT_QUEUE):
+                    yield request
+            except BaseException:
+                node.mpl.cancel(request)
+                raise
+            try:
+                txn.start_time = sim.now
+                cpu = node.cpu
+                buffer = node.buffer
+                held_locks = txn.held_locks  # cleared in place on restart
+                grants = txn.grants
+                # The three CPU phases below inline cpu.consume_exp:
+                # same RNG stream and call (expovariate(1.0 / mean)),
+                # same request/timeout/release sequence, minus the
+                # acquire-generator frame on every resume.
+                cpu_res = cpu.resource
+                speed = cpu.speed
+                exp = cpu.stream.expovariate
+                rate_bot = self._rate_bot
+                rate_access = self._rate_access
+                rate_eot = self._rate_eot
+                while True:
+                    try:
+                        with recorder.span(txn.txn_id, phases.CPU):
+                            instr = exp(rate_bot) if rate_bot else 0.0
+                            cpu.instructions_executed += instr
+                            if instr:
+                                request = cpu_res.request()
+                                try:
+                                    yield request
+                                except BaseException:
+                                    cpu_res.cancel(request)
+                                    raise
+                                try:
+                                    yield Timeout(sim, instr / speed)
+                                finally:
+                                    cpu_res.release()
+                        for access in txn.accesses:
+                            if access.page[1] == HISTORY_APPEND:
+                                self._materialize_history(access)
+                            with recorder.span(txn.txn_id, phases.CPU):
+                                instr = exp(rate_access) if rate_access else 0.0
+                                cpu.instructions_executed += instr
+                                if instr:
+                                    request = cpu_res.request()
+                                    try:
+                                        yield request
+                                    except BaseException:
+                                        cpu_res.cancel(request)
+                                        raise
+                                    try:
+                                        yield Timeout(sim, instr / speed)
+                                    finally:
+                                        cpu_res.release()
+                            grant = None
+                            if access.lockable:
+                                # Held-lock fast path: no protocol call,
+                                # no yield, no extra generator.
+                                held = held_locks.get(access.page)
+                                if held is not None and (held or not access.write):
+                                    grant = grants[access.page]
+                                else:
+                                    grant = yield from self._lock(txn, access)
+                            yield from buffer.access(txn, access, grant)
+                        # Commit processing: EOT CPU, log (and FORCE
+                        # force-writes), sequence-number publication and
+                        # lock release.
+                        with recorder.span(txn.txn_id, phases.COMMIT):
+                            instr = exp(rate_eot) if rate_eot else 0.0
+                            cpu.instructions_executed += instr
+                            if instr:
+                                request = cpu_res.request()
+                                try:
+                                    yield request
+                                except BaseException:
+                                    cpu_res.cancel(request)
+                                    raise
+                                try:
+                                    yield Timeout(sim, instr / speed)
+                                finally:
+                                    cpu_res.release()
+                            yield from buffer.commit_phase1(txn)
+                            # The modified versions become the globally
+                            # committed ones.
+                            for page, version in txn.modified.items():
+                                node.cluster.ledger.install_commit(page, version)
+                            yield from node.protocol.commit_release(txn)
+                            buffer.finish_commit(txn)
+                        break
+                    except TransactionAborted:
+                        node.aborts.increment()
+                        txn.restarts += 1
+                        with recorder.span(txn.txn_id, phases.BACKOFF):
+                            yield from self._rollback(txn)
+                            yield sim.timeout(self.stream.exponential(0.01))
+                        txn.reset_runtime()
+                node.record_completion(txn, sim.now - txn.arrival_time)
+            finally:
+                node.mpl.release()
         except NodeCrashed:
             # The node died under this transaction.  The unwound
             # finally blocks already returned its resources; the work
             # is lost (not restarted -- the arrival itself is gone).
-            self.node.recorder.txn_end(txn.txn_id, self.sim.now, committed=False)
+            recorder.txn_end(txn.txn_id, sim.now, committed=False)
         finally:
             self.active.pop(txn.txn_id, None)
-
-    def _admitted(self, txn: Transaction) -> Generator[Event, Any, None]:
-        recorder = self.node.recorder
-        request = self.node.mpl.request()
-        try:
-            with recorder.span(txn.txn_id, phases.INPUT_QUEUE):
-                yield request
-        except BaseException:
-            self.node.mpl.cancel(request)
-            raise
-        try:
-            txn.start_time = self.sim.now
-            while True:
-                try:
-                    yield from self._execute_once(txn)
-                    break
-                except TransactionAborted:
-                    self.node.aborts.increment()
-                    txn.restarts += 1
-                    with recorder.span(txn.txn_id, phases.BACKOFF):
-                        yield from self._rollback(txn)
-                        yield self.sim.timeout(self.stream.exponential(0.01))
-                    txn.reset_runtime()
-            self.node.record_completion(txn, self.sim.now - txn.arrival_time)
-        finally:
-            self.node.mpl.release()
-
-    def _execute_once(self, txn: Transaction) -> Generator[Event, Any, None]:
-        node = self.node
-        recorder = node.recorder
-        with recorder.span(txn.txn_id, phases.CPU):
-            yield from node.cpu.consume_exp(self.instr_bot)
-        for access in txn.accesses:
-            self._materialize_history(access)
-            with recorder.span(txn.txn_id, phases.CPU):
-                yield from node.cpu.consume_exp(self.instr_per_access)
-            grant = None
-            if access.lockable:
-                grant = yield from self._lock(txn, access)
-            yield from node.buffer.access(txn, access, grant)
-        # Commit processing: EOT CPU, log (and FORCE force-writes),
-        # sequence-number publication and lock release.
-        with recorder.span(txn.txn_id, phases.COMMIT):
-            yield from node.cpu.consume_exp(self.instr_eot)
-            yield from node.buffer.commit_phase1(txn)
-            # The modified versions become the globally committed ones.
-            for page, version in txn.modified.items():
-                node.cluster.ledger.install_commit(page, version)
-            yield from node.protocol.commit_release(txn)
-            node.buffer.finish_commit(txn)
 
     def _lock(
         self, txn: Transaction, access: PageAccess

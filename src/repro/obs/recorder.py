@@ -113,6 +113,9 @@ class _Span:
 
     def __exit__(self, exc_type, exc, tb):
         self._recorder._pop(self._txn_id, self._phase)
+        # Return to the recorder's free list: a span is dead once
+        # exited, and the hot paths open several spans per event.
+        self._recorder._span_pool.append(self)
         return False
 
 
@@ -131,6 +134,9 @@ class PhaseRecorder:
         self.sim = sim
         self.keep_spans = keep_spans
         self._active: Dict[int, _TxnRecord] = {}
+        # Exited _Span objects for reuse; bounded by the maximum number
+        # of simultaneously open spans (a handful per active txn).
+        self._span_pool: List[_Span] = []
         self.spans: List[SpanEvent] = []
         self.transactions: List[TxnEvent] = []
         # Aggregates over finished transactions since the last reset.
@@ -175,6 +181,12 @@ class PhaseRecorder:
     # -- spans -----------------------------------------------------------
 
     def span(self, txn_id: Optional[int], phase: str) -> _Span:
+        pool = self._span_pool
+        if pool:
+            span = pool.pop()
+            span._txn_id = txn_id
+            span._phase = phase
+            return span
         return _Span(self, txn_id, phase)
 
     def interval(self, node_id: int, phase: str, start: float, end: float) -> None:

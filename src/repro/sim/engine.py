@@ -2,14 +2,23 @@
 
 The design follows the classic process-oriented simulation style: model
 logic is written as Python generator functions that ``yield`` events.
-The :class:`Simulator` owns a binary heap of scheduled events ordered by
-``(time, priority, sequence)`` so that execution order is fully
+The :class:`Simulator` owns a binary heap of ``(time, priority,
+sequence, event)`` tuples so that execution order is fully
 deterministic for a given model and seed.
+
+The hot paths -- triggering an event, resuming a process, the run loop
+-- are deliberately flat: scheduling is inlined into
+:meth:`Event.succeed` and :class:`Timeout`, the generator ``send`` /
+``throw`` methods are bound once per process, and the run loop touches
+the heap through pre-bound module functions.  These are constant-factor
+rewrites only; the event order, event count and float arithmetic are
+bit-identical to the straightforward formulation (the golden tests pin
+this).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -93,7 +102,17 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value``."""
-        self._trigger(True, value, delay)
+        if self._value is not _PENDING:
+            raise SimulationError("event has already been triggered")
+        if delay < 0:
+            raise SimulationError("negative delay")
+        # _ok is True from construction and a failed event counts as
+        # triggered, so it cannot be stale here.
+        self._value = value
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -104,23 +123,23 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        self._trigger(False, exception, delay)
-        return self
-
-    def _trigger(self, ok: bool, value: Any, delay: float) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event has already been triggered")
         if delay < 0:
             raise SimulationError("negative delay")
-        self._ok = ok
-        self._value = value
-        self.sim._schedule(self, delay)
+        self._ok = False
+        self._value = exception
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending"
-        if self.processed:
+        if self.callbacks is None:
             state = "processed"
-        elif self.triggered:
+        elif self._value is not _PENDING:
             state = "triggered"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
@@ -133,11 +152,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
+        self._ok = True
+        self._scheduled = True
+        self.delay = delay
+        sim._seq += 1
+        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
 
 
 class Process(Event):
@@ -154,7 +176,7 @@ class Process(Event):
     return value, or fails if the generator raises.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw", "_resume_cb")
 
     def __init__(
         self,
@@ -164,21 +186,33 @@ class Process(Event):
     ) -> None:
         if not hasattr(generator, "send"):
             raise SimulationError("Process requires a generator")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._scheduled = False
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
+        # Bound once: every resume uses these, and a bound-method lookup
+        # per event is measurable at this call frequency.
+        self._send = generator.send
+        self._throw = generator.throw
+        resume = self._resume
+        self._resume_cb: Callable[[Event], None] = resume
         # Bootstrap: resume the generator at the current simulation time.
-        bootstrap = Event(sim)
-        bootstrap._ok = True
+        bootstrap = Event.__new__(Event)
+        bootstrap.sim = sim
+        bootstrap.callbacks = [resume]
         bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        self._waiting_on = bootstrap
-        sim._schedule(bootstrap, 0.0, priority=URGENT)
+        bootstrap._ok = True
+        bootstrap._scheduled = True
+        self._waiting_on: Optional[Event] = bootstrap
+        sim._seq += 1
+        heappush(sim._heap, (sim.now, URGENT, sim._seq, bootstrap))
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: BaseException) -> bool:
         """Tear the process off whatever event it is waiting on.
@@ -192,7 +226,7 @@ class Process(Event):
         already finished.  Interrupting a process twice before the
         first interrupt is delivered is a no-op on the second call.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             return False
         target = self._waiting_on
         if target is None:
@@ -202,7 +236,7 @@ class Process(Event):
             return False
         if target.callbacks is not None:
             try:
-                index = target.callbacks.index(self._resume)
+                index = target.callbacks.index(self._resume_cb)
             except ValueError:
                 pass
             else:
@@ -211,20 +245,24 @@ class Process(Event):
                 # an unhandled simulation error.
                 target.callbacks[index] = _discard
         self._waiting_on = None
-        relay = Event(self.sim)
-        relay._ok = False
+        sim = self.sim
+        relay = Event.__new__(Event)
+        relay.sim = sim
+        relay.callbacks = [self._resume_cb]
         relay._value = cause
-        relay.callbacks.append(self._resume)
-        self.sim._schedule(relay, 0.0, priority=URGENT)
+        relay._ok = False
+        relay._scheduled = True
+        sim._seq += 1
+        heappush(sim._heap, (sim.now, URGENT, sim._seq, relay))
         return True
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         try:
             if event._ok:
-                target = self.generator.send(event._value)
+                target = self._send(event._value)
             else:
-                target = self.generator.throw(event._value)
+                target = self._throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -233,10 +271,17 @@ class Process(Event):
                 raise
             self.fail(exc)
             return
-        if not isinstance(target, Event):
+        sim = self.sim
+        # Duck-typed in place of ``isinstance(target, Event)``: the
+        # attribute loads are needed anyway and the try block is free
+        # on the success path (3.11 zero-cost exceptions).
+        try:
+            target_sim = target.sim
+            callbacks = target.callbacks
+        except AttributeError:
             # Tell the generator off; this surfaces as a process failure.
             try:
-                self.generator.throw(
+                self._throw(
                     SimulationError(
                         f"process {self.name!r} yielded a non-event: {target!r}"
                     )
@@ -246,20 +291,23 @@ class Process(Event):
             except BaseException as exc:
                 self.fail(exc)
             return
-        if target.sim is not self.sim:
+        if target_sim is not sim:
             self.fail(SimulationError("yielded event belongs to another simulator"))
             return
-        if target.processed:
+        if callbacks is None:
             # Already done: resume immediately (at current time, urgent).
-            relay = Event(self.sim)
-            relay._ok = target._ok
+            relay = Event.__new__(Event)
+            relay.sim = sim
+            relay.callbacks = [self._resume_cb]
             relay._value = target._value
-            relay.callbacks.append(self._resume)
+            relay._ok = target._ok
+            relay._scheduled = True
             self._waiting_on = relay
-            self.sim._schedule(relay, 0.0, priority=URGENT)
+            sim._seq += 1
+            heappush(sim._heap, (sim.now, URGENT, sim._seq, relay))
         else:
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume_cb)
 
 
 class _Condition(Event):
@@ -349,20 +397,13 @@ class Simulator:
     """The simulation clock and event loop."""
 
     def __init__(self) -> None:
-        self._now = 0.0
+        #: Current simulation time (seconds).  Read-mostly for model
+        #: code; only the run loop advances it.
+        self.now = 0.0
+        #: Number of events executed so far (for diagnostics).
+        self.events_processed = 0
         self._heap: List[Any] = []
         self._seq = 0
-        self._processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time (seconds)."""
-        return self._now
-
-    @property
-    def events_processed(self) -> int:
-        """Number of events executed so far (for diagnostics)."""
-        return self._processed
 
     # -- event construction helpers ------------------------------------
 
@@ -372,7 +413,21 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event firing ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        # Manual construction (Timeout.__init__ inlined): timeouts are
+        # the most common event kind and the __init__ frame is pure
+        # overhead at this call frequency.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._scheduled = True
+        event.delay = delay
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, NORMAL, self._seq, event))
+        return event
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
         """Spawn a new process from ``generator``."""
@@ -391,17 +446,17 @@ class Simulator:
             raise SimulationError("event already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(self._heap, (self.now + delay, priority, self._seq, event))
 
     # -- running --------------------------------------------------------
 
     def step(self) -> None:
         """Process a single event."""
-        _time, _prio, _seq, event = heapq.heappop(self._heap)
-        self._now = _time
+        _time, _prio, _seq, event = heappop(self._heap)
+        self.now = _time
         callbacks = event.callbacks
         event.callbacks = None
-        self._processed += 1
+        self.events_processed += 1
         for callback in callbacks:
             callback(event)
         if (
@@ -414,23 +469,60 @@ class Simulator:
             # Exceptions marking themselves ``unhandled_ok`` (a process
             # torn down by fault injection) are a clean termination.
             raise event._value
+        return
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event list is exhausted or ``until`` is reached.
 
         When ``until`` is given the clock is advanced to exactly
         ``until`` even if the last event fires earlier.
+
+        The loop body is :meth:`step` inlined, with the processed-event
+        counter kept in a local (flushed on every exit path): one heap
+        pop, clock store and callback sweep per event and nothing else.
         """
-        if until is not None and until < self._now:
+        if until is not None and until < self.now:
             raise SimulationError("cannot run into the past")
         heap = self._heap
-        while heap:
-            if until is not None and heap[0][0] > until:
-                self._now = until
-                return
-            self.step()
+        pop = heappop
+        processed = self.events_processed
+        # Two copies of the loop so the horizon check costs nothing
+        # when no ``until`` is given (and no ``is not None`` test per
+        # event when it is).
+        try:
+            if until is None:
+                while heap:
+                    time_, _prio, _seq, event = pop(heap)
+                    self.now = time_
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    processed += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks and not getattr(
+                        event._value, "unhandled_ok", False
+                    ):
+                        raise event._value
+            else:
+                while heap:
+                    if heap[0][0] > until:
+                        self.now = until
+                        return
+                    time_, _prio, _seq, event = pop(heap)
+                    self.now = time_
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    processed += 1
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks and not getattr(
+                        event._value, "unhandled_ok", False
+                    ):
+                        raise event._value
+        finally:
+            self.events_processed = processed
         if until is not None:
-            self._now = until
+            self.now = until
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

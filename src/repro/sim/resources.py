@@ -14,9 +14,17 @@ lock requests to a remote node's lock-manager process).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, Generator, Optional, Tuple
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import (
+    NORMAL,
+    _PENDING,
+    Event,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
 from repro.sim.stats import Tally, TimeWeighted
 
 __all__ = ["Resource", "Store"]
@@ -37,6 +45,18 @@ class Resource:
 
         yield from resource.acquire(service_time)
     """
+
+    __slots__ = (
+        "sim",
+        "capacity",
+        "name",
+        "_busy",
+        "_queue",
+        "busy_stat",
+        "queue_stat",
+        "wait_time",
+        "services",
+    )
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -64,24 +84,84 @@ class Resource:
 
     def request(self) -> Event:
         """Request one unit; the returned event fires when granted."""
-        event = Event(self.sim)
-        if self._busy < self.capacity and not self._queue:
-            self._grant(event, waited=0.0)
+        # Manual Event construction: this is the hottest allocation in
+        # the model (one per CPU slice / IO), and skipping the __init__
+        # frame is measurable.
+        sim = self.sim
+        event = Event.__new__(Event)
+        event.sim = sim
+        event.callbacks = []
+        event._value = _PENDING
+        event._ok = True
+        event._scheduled = False
+        busy = self._busy
+        if busy < self.capacity and not self._queue:
+            # Uncontended grant: ``_grant(event, waited=0.0)`` inlined
+            # (same float operations, see the comment there) -- this is
+            # the overwhelmingly common case and saves a call per
+            # request.
+            self._busy = busy = busy + 1
+            now = sim.now
+            stat = self.busy_stat
+            stat._area += stat._value * (now - stat._last_time)
+            stat._last_time = now
+            stat._value = busy
+            if busy > stat.max:
+                stat.max = busy
+            tally = self.wait_time
+            tally.count = count = tally.count + 1
+            delta = 0.0 - tally._mean
+            tally._mean += delta / count
+            tally._m2 += delta * (0.0 - tally._mean)
+            if 0.0 < tally._min:
+                tally._min = 0.0
+            if 0.0 > tally._max:
+                tally._max = 0.0
+            if tally._samples is not None:
+                tally._samples.append(0.0)
+            self.services += 1
+            event._value = self
+            event._scheduled = True
+            sim._seq += 1
+            heappush(sim._heap, (now, NORMAL, sim._seq, event))
         else:
-            self._queue.append((event, self.sim.now))
-            self.queue_stat.update(len(self._queue), self.sim.now)
+            now = sim.now
+            queue = self._queue
+            queue.append((event, now))
+            # Inlined queue_stat.update(len(queue), now); at high
+            # utilization most requests queue, so this is hot too.
+            stat = self.queue_stat
+            stat._area += stat._value * (now - stat._last_time)
+            stat._last_time = now
+            depth = len(queue)
+            stat._value = depth
+            if depth > stat.max:
+                stat.max = depth
         return event
 
     def release(self) -> None:
         """Return one unit, granting it to the next waiter if any."""
-        if self._busy <= 0:
+        busy = self._busy
+        if busy <= 0:
             raise RuntimeError(f"release() on idle resource {self.name!r}")
-        self._busy -= 1
-        self.busy_stat.update(self._busy, self.sim.now)
-        if self._queue:
-            event, enqueued_at = self._queue.popleft()
-            self.queue_stat.update(len(self._queue), self.sim.now)
-            self._grant(event, waited=self.sim.now - enqueued_at)
+        self._busy = busy = busy - 1
+        now = self.sim.now
+        # Inlined busy_stat.update(busy, now); the simulation clock is
+        # monotone, so the backwards-time guard cannot fire.
+        stat = self.busy_stat
+        stat._area += stat._value * (now - stat._last_time)
+        stat._last_time = now
+        stat._value = busy
+        queue = self._queue
+        if queue:
+            event, enqueued_at = queue.popleft()
+            # Inlined queue_stat.update (see request); the queue only
+            # shrinks here, so the max check would never fire.
+            qstat = self.queue_stat
+            qstat._area += qstat._value * (now - qstat._last_time)
+            qstat._last_time = now
+            qstat._value = len(queue)
+            self._grant(event, waited=now - enqueued_at)
 
     def cancel(self, event: Event) -> None:
         """Withdraw a pending :meth:`request`.
@@ -124,9 +204,31 @@ class Resource:
         If an exception is thrown into the generator while it waits for
         the grant, the request is cancelled so the unit cannot leak.
         """
-        yield from self.grab()
+        # `grab` inlined: this is the hottest generator in the model
+        # (every CPU slice and I/O goes through here) and the extra
+        # delegation frame costs a measurable fraction of each resume.
+        request = self.request()
         try:
-            yield self.sim.timeout(duration)
+            yield request
+        except BaseException:
+            self.cancel(request)
+            raise
+        try:
+            # Manual Timeout construction (its __init__ inlined): one
+            # hold-timer per acquire, so the frame is pure overhead.
+            if duration < 0:
+                raise SimulationError(f"negative timeout delay: {duration!r}")
+            sim = self.sim
+            timer = Timeout.__new__(Timeout)
+            timer.sim = sim
+            timer.callbacks = []
+            timer._value = None
+            timer._ok = True
+            timer._scheduled = True
+            timer.delay = duration
+            sim._seq += 1
+            heappush(sim._heap, (sim.now + duration, NORMAL, sim._seq, timer))
+            yield timer
         finally:
             self.release()
 
@@ -153,11 +255,40 @@ class Resource:
         self.services = 0
 
     def _grant(self, event: Event, waited: float) -> None:
-        self._busy += 1
-        self.busy_stat.update(self._busy, self.sim.now)
-        self.wait_time.record(waited)
+        busy = self._busy + 1
+        self._busy = busy
+        sim = self.sim
+        now = sim.now
+        # Inlined busy_stat.update(busy, now) and
+        # wait_time.record(waited): identical float operations in the
+        # same order, minus the per-call overhead (this runs once per
+        # CPU slice / IO).  The clock is monotone, so update's
+        # backwards-time guard cannot fire; _max starts at -inf so the
+        # comparisons match Tally.record exactly.
+        stat = self.busy_stat
+        stat._area += stat._value * (now - stat._last_time)
+        stat._last_time = now
+        stat._value = busy
+        if busy > stat.max:
+            stat.max = busy
+        tally = self.wait_time
+        tally.count = count = tally.count + 1
+        delta = waited - tally._mean
+        tally._mean += delta / count
+        tally._m2 += delta * (waited - tally._mean)
+        if waited < tally._min:
+            tally._min = waited
+        if waited > tally._max:
+            tally._max = waited
+        if tally._samples is not None:
+            tally._samples.append(waited)
         self.services += 1
-        event.succeed(self)
+        # Inlined event.succeed(self): the event is freshly created or
+        # came off the wait queue, so it cannot be triggered yet.
+        event._value = self
+        event._scheduled = True
+        sim._seq += 1
+        heappush(sim._heap, (now, NORMAL, sim._seq, event))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -173,6 +304,8 @@ class Store:
     next item (immediately if one is already buffered).  Items are
     delivered to getters in FIFO order on both sides.
     """
+
+    __slots__ = ("sim", "name", "_items", "_getters", "size_stat", "puts")
 
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim

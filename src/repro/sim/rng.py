@@ -12,7 +12,7 @@ import bisect
 import hashlib
 import itertools
 import random
-from typing import Dict, List, Sequence, TypeVar
+from typing import Callable, Dict, List, Sequence, TypeVar
 
 __all__ = ["StreamRegistry", "Stream", "derive_seed", "replicate_seed", "zipf_weights"]
 
@@ -56,6 +56,10 @@ class Stream:
     def __init__(self, seed: int, name: str = "") -> None:
         self.name = name
         self._rng = random.Random(seed)
+        #: Bound fast path for hot callers that precompute the rate
+        #: (``1.0 / mean``); bit-identical to :meth:`exponential` for
+        #: ``mean > 0`` since that calls ``expovariate(1.0 / mean)``.
+        self.expovariate: Callable[[float], float] = self._rng.expovariate
 
     def uniform(self, low: float, high: float) -> float:
         return self._rng.uniform(low, high)

@@ -39,11 +39,25 @@ class Source:
         self.mean_interarrival = 1.0 / total_rate
         self.stream = stream
         self.generated = 0
+        #: Set by :meth:`stop`; the arrival loop exits at its next tick.
+        self.stopped = False
         sim.process(self._run(), name="source")
+
+    def stop(self) -> None:
+        """Stop generating arrivals (takes effect at the next tick).
+
+        Used to drain a system at the end of a run: with the source
+        stopped, in-flight transactions complete and the cluster
+        quiesces, so invariants can be checked without the noise of
+        work truncated mid-flight by the simulation cutoff.
+        """
+        self.stopped = True
 
     def _run(self):
         while True:
             yield self.sim.timeout(self.stream.exponential(self.mean_interarrival))
+            if self.stopped:
+                return
             txn = self.generator.next_transaction()
             if txn is None:
                 return  # finite workload (trace) exhausted

@@ -1,0 +1,261 @@
+"""Schema and comparator tests for the committed perf trajectory.
+
+These tests never time anything: they validate that every committed
+``BENCH_*.json`` snapshot parses against the schema, and that the
+comparator's tolerance logic flags what it should.  The actual timing
+runs live in ``benchmarks/perf/driver.py`` and CI's bench job.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.perf.compare import (
+    SnapshotFormatError,
+    compare_snapshots,
+    find_latest_snapshot,
+    load_snapshot,
+    main,
+    validate_snapshot,
+)
+from benchmarks.perf.driver import SCALES, SCHEMA_VERSION, WORKLOAD
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def make_snapshot(scales=(8,), events_per_sec=200_000.0, events=116_016):
+    return {
+        "schema": 1,
+        "date": "2026-08-08",
+        "workload": dict(WORKLOAD),
+        "scales": {
+            str(n): {
+                "num_nodes": n,
+                "events_processed": events,
+                "wall_clock_s": events / events_per_sec,
+                "events_per_sec": events_per_sec,
+                "peak_rss_kb": 100_000,
+            }
+            for n in scales
+        },
+    }
+
+
+class TestCommittedSnapshots:
+    def test_at_least_one_snapshot_is_committed(self):
+        assert find_latest_snapshot(REPO_ROOT) is not None
+
+    def test_every_committed_snapshot_validates(self):
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+            snapshot = load_snapshot(path)  # raises on schema violations
+            assert snapshot["schema"] == SCHEMA_VERSION
+            # Committed snapshots must use the pinned scales/windows, or
+            # the trajectory stops being comparable.
+            for name, entry in snapshot["scales"].items():
+                assert int(name) in SCALES
+                warmup, measure = SCALES[int(name)]
+                assert entry["warmup_time"] == warmup
+                assert entry["measure_time"] == measure
+            assert snapshot["workload"] == WORKLOAD
+
+    def test_snapshot_name_matches_embedded_date(self):
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+            snapshot = load_snapshot(path)
+            assert path.name == f"BENCH_{snapshot['date']}.json"
+
+
+class TestValidateSnapshot:
+    def test_valid_snapshot_passes(self):
+        validate_snapshot(make_snapshot())
+
+    @pytest.mark.parametrize("missing", ["schema", "date", "workload", "scales"])
+    def test_missing_top_level_key(self, missing):
+        snapshot = make_snapshot()
+        del snapshot[missing]
+        with pytest.raises(SnapshotFormatError, match=missing):
+            validate_snapshot(snapshot)
+
+    def test_unknown_schema_version(self):
+        snapshot = make_snapshot()
+        snapshot["schema"] = 2
+        with pytest.raises(SnapshotFormatError, match="schema version"):
+            validate_snapshot(snapshot)
+
+    @pytest.mark.parametrize("date", ["2026/08/08", "08-08-2026", "yesterday", 20260808])
+    def test_malformed_date(self, date):
+        snapshot = make_snapshot()
+        snapshot["date"] = date
+        with pytest.raises(SnapshotFormatError, match="YYYY-MM-DD"):
+            validate_snapshot(snapshot)
+
+    def test_empty_scales_rejected(self):
+        snapshot = make_snapshot()
+        snapshot["scales"] = {}
+        with pytest.raises(SnapshotFormatError, match="non-empty"):
+            validate_snapshot(snapshot)
+
+    def test_non_numeric_scale_key_rejected(self):
+        snapshot = make_snapshot()
+        snapshot["scales"]["eight"] = snapshot["scales"].pop("8")
+        with pytest.raises(SnapshotFormatError, match="node count"):
+            validate_snapshot(snapshot)
+
+    def test_num_nodes_mismatch_rejected(self):
+        snapshot = make_snapshot()
+        snapshot["scales"]["8"]["num_nodes"] = 16
+        with pytest.raises(SnapshotFormatError, match="mismatch"):
+            validate_snapshot(snapshot)
+
+    def test_missing_scale_field_rejected(self):
+        snapshot = make_snapshot()
+        del snapshot["scales"]["8"]["peak_rss_kb"]
+        with pytest.raises(SnapshotFormatError, match="peak_rss_kb"):
+            validate_snapshot(snapshot)
+
+    @pytest.mark.parametrize(
+        "field", ["events_processed", "wall_clock_s", "events_per_sec"]
+    )
+    def test_nonpositive_measurements_rejected(self, field):
+        snapshot = make_snapshot()
+        snapshot["scales"]["8"][field] = 0
+        with pytest.raises(SnapshotFormatError):
+            validate_snapshot(snapshot)
+
+
+class TestCompareSnapshots:
+    def test_within_tolerance_passes(self):
+        rows = compare_snapshots(
+            make_snapshot(events_per_sec=180_000.0),
+            make_snapshot(events_per_sec=200_000.0),
+        )
+        assert len(rows) == 1
+        assert not rows[0]["regressed"]
+        assert rows[0]["same_events"]
+
+    def test_regression_beyond_tolerance_flagged(self):
+        rows = compare_snapshots(
+            make_snapshot(events_per_sec=150_000.0),
+            make_snapshot(events_per_sec=200_000.0),
+        )
+        assert rows[0]["regressed"]
+        assert rows[0]["ratio"] == pytest.approx(0.75)
+
+    def test_improvement_never_flagged(self):
+        rows = compare_snapshots(
+            make_snapshot(events_per_sec=400_000.0),
+            make_snapshot(events_per_sec=200_000.0),
+        )
+        assert not rows[0]["regressed"]
+        assert rows[0]["ratio"] == pytest.approx(2.0)
+
+    def test_tolerance_is_configurable(self):
+        current = make_snapshot(events_per_sec=180_000.0)
+        baseline = make_snapshot(events_per_sec=200_000.0)
+        assert not compare_snapshots(current, baseline, tolerance=0.15)[0]["regressed"]
+        assert compare_snapshots(current, baseline, tolerance=0.05)[0]["regressed"]
+
+    @pytest.mark.parametrize("tolerance", [-0.1, 1.0, 2.0])
+    def test_invalid_tolerance_rejected(self, tolerance):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_snapshots(make_snapshot(), make_snapshot(), tolerance=tolerance)
+
+    def test_scales_in_only_one_snapshot_are_skipped(self):
+        rows = compare_snapshots(
+            make_snapshot(scales=(8, 64)), make_snapshot(scales=(8, 256))
+        )
+        assert [row["scale"] for row in rows] == [8]
+
+    def test_event_count_drift_is_reported(self):
+        current = make_snapshot()
+        current["scales"]["8"]["events_processed"] += 1
+        rows = compare_snapshots(current, make_snapshot())
+        assert not rows[0]["same_events"]
+
+
+class TestCompareCli:
+    @staticmethod
+    def write(tmp_path, name, snapshot):
+        path = tmp_path / name
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        return path
+
+    def test_missing_baseline_exits_zero(self, tmp_path, capsys):
+        current = self.write(tmp_path, "now.json", make_snapshot())
+        assert main([str(current), "--baseline-dir", str(tmp_path)]) == 0
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_self_comparison_treated_as_no_baseline(self, tmp_path, capsys):
+        current = self.write(tmp_path, "BENCH_2026-08-08.json", make_snapshot())
+        assert main([str(current), "--baseline-dir", str(tmp_path)]) == 0
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        current = self.write(
+            tmp_path, "now.json", make_snapshot(events_per_sec=100_000.0)
+        )
+        self.write(
+            tmp_path,
+            "BENCH_2026-08-07.json",
+            make_snapshot(events_per_sec=200_000.0),
+        )
+        assert main([str(current), "--baseline-dir", str(tmp_path)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_ok_comparison_exits_zero(self, tmp_path, capsys):
+        current = self.write(
+            tmp_path, "now.json", make_snapshot(events_per_sec=195_000.0)
+        )
+        self.write(
+            tmp_path,
+            "BENCH_2026-08-07.json",
+            make_snapshot(events_per_sec=200_000.0),
+        )
+        assert main([str(current), "--baseline-dir", str(tmp_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_latest_baseline_wins(self, tmp_path):
+        current = self.write(
+            tmp_path, "now.json", make_snapshot(events_per_sec=100_000.0)
+        )
+        # Older snapshot would flag a regression; the newest must win.
+        self.write(
+            tmp_path,
+            "BENCH_2026-08-01.json",
+            make_snapshot(events_per_sec=200_000.0),
+        )
+        self.write(
+            tmp_path,
+            "BENCH_2026-08-07.json",
+            make_snapshot(events_per_sec=100_000.0),
+        )
+        assert main([str(current), "--baseline-dir", str(tmp_path)]) == 0
+
+    def test_explicit_baseline_overrides_directory(self, tmp_path):
+        current = self.write(
+            tmp_path, "now.json", make_snapshot(events_per_sec=100_000.0)
+        )
+        explicit = self.write(
+            tmp_path, "base.json", make_snapshot(events_per_sec=200_000.0)
+        )
+        self.write(
+            tmp_path,
+            "BENCH_2026-08-07.json",
+            make_snapshot(events_per_sec=100_000.0),
+        )
+        assert main([str(current), "--baseline", str(explicit)]) == 1
+
+    def test_no_common_scales_exits_zero(self, tmp_path, capsys):
+        current = self.write(tmp_path, "now.json", make_snapshot(scales=(8,)))
+        self.write(
+            tmp_path, "BENCH_2026-08-07.json", make_snapshot(scales=(64,))
+        )
+        assert main([str(current), "--baseline-dir", str(tmp_path)]) == 0
+        assert "no common scales" in capsys.readouterr().err
+
+    def test_invalid_current_snapshot_raises(self, tmp_path):
+        bad = make_snapshot()
+        del bad["scales"]
+        current = self.write(tmp_path, "now.json", bad)
+        with pytest.raises(SnapshotFormatError):
+            main([str(current), "--baseline-dir", str(tmp_path)])

@@ -1,0 +1,146 @@
+"""Byte-identical golden-equivalence tests for whole experiments.
+
+``test_golden.py`` freezes single simulation points with a float
+tolerance; this layer freezes whole *experiments* -- fig 4.1, fig 4.5
+and the failover experiment -- at smoke scale and requires the rendered
+tables, response-time breakdowns and every deterministic result field
+to be **byte-identical** to the committed snapshot.  Performance work
+on the simulator hot paths must keep these green without regeneration:
+any speedup that changes event counts, event order or float arithmetic
+is a semantic change and shows up here immediately.
+
+Regenerate after an intentional semantic change with::
+
+    PYTHONPATH=src:. python tests/system/test_golden_equivalence.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.experiments import fig41, fig45, fig_failover
+from repro.experiments.common import ExperimentResult, Scale
+from repro.system.config import SystemConfig
+from repro.system.results import RunResult
+from repro.system.runner import run_simulation
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+
+class _SerialRunner:
+    """Duck-types SweepRunner.run_many: in-process, no cache, no pool.
+
+    Equivalence goldens must re-simulate every point -- a results cache
+    would make the test vacuously green.
+    """
+
+    def run_many(self, configs: List[SystemConfig], label: str = "") -> List[RunResult]:
+        return [run_simulation(config) for config in configs]
+
+
+def _experiment_snapshot(result: ExperimentResult) -> Dict[str, Any]:
+    return {
+        "table": result.table(),
+        "breakdown_table": result.breakdown_table(),
+        "results": {
+            series.label: [
+                [n, point.deterministic_dict()] for n, point in series.points
+            ]
+            for series in result.series
+        },
+    }
+
+
+def _failover_snapshot(result: fig_failover.FailoverResult) -> Dict[str, Any]:
+    return {
+        "table": result.table(),
+        "points": [
+            {
+                "label": point.label,
+                "pre_crash_throughput": point.pre_crash_throughput,
+                "dip_throughput": point.dip_throughput,
+                "recovery_width": point.recovery_width,
+                "result": point.result.deterministic_dict(),
+            }
+            for point in result.points
+        ],
+    }
+
+
+def _run_fig41() -> Dict[str, Any]:
+    return _experiment_snapshot(fig41.run(Scale.smoke(), runner=_SerialRunner()))
+
+
+def _run_fig45() -> Dict[str, Any]:
+    # Buffer 200 only: halves the grid without losing any code path the
+    # buffer-1000 runs would exercise.
+    return _experiment_snapshot(
+        fig45.run(Scale.smoke(), buffer_sizes=(200,), runner=_SerialRunner())
+    )
+
+
+def _run_failover() -> Dict[str, Any]:
+    return _failover_snapshot(fig_failover.run(Scale.smoke()))
+
+
+EXPERIMENTS = {
+    "equivalence_fig41": _run_fig41,
+    "equivalence_fig45": _run_fig45,
+    "equivalence_fig_failover": _run_failover,
+}
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def _dump(snapshot: Dict[str, Any]) -> str:
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_byte_identical(name: str) -> None:
+    path = golden_path(name)
+    assert os.path.exists(path), (
+        f"golden file {path} missing -- regenerate with "
+        "`python tests/system/test_golden_equivalence.py --regen`"
+    )
+    with open(path) as fh:
+        frozen = fh.read()
+    fresh = _dump(EXPERIMENTS[name]())
+    if fresh != frozen:
+        frozen_obj = json.loads(frozen)
+        fresh_obj = json.loads(fresh)
+        details = []
+        for key in ("table", "breakdown_table"):
+            if frozen_obj.get(key) != fresh_obj.get(key):
+                details.append(
+                    f"--- frozen {key} ---\n{frozen_obj.get(key)}\n"
+                    f"--- fresh {key} ---\n{fresh_obj.get(key)}"
+                )
+        raise AssertionError(
+            f"{name}: experiment output is no longer byte-identical to the "
+            "golden snapshot (simulation semantics changed; regenerate the "
+            "goldens only for an intentional change).\n" + "\n".join(details)
+        )
+
+
+def regenerate() -> None:  # pragma: no cover
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, runner in sorted(EXPERIMENTS.items()):
+        with open(golden_path(name), "w") as fh:
+            fh.write(_dump(runner()))
+        print(f"wrote {golden_path(name)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
