@@ -10,7 +10,7 @@ version can be obtained if the local copy is missing or stale
 from __future__ import annotations
 
 import enum
-from typing import Any, Generator, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, Generator, Iterator, Optional, Sequence, TYPE_CHECKING
 
 from repro.db.pages import PageId
 from repro.sim.engine import Event
@@ -70,6 +70,13 @@ class CCProtocol:
 
     name = "abstract"
 
+    #: Multi-version protocols keep superseded committed versions
+    #: readable: the buffer manager serves a read whose grant names an
+    #: older version from the (modelled) version chain instead of
+    #: raising a coherency error, and skips the strict storage-version
+    #: check on misses.
+    multiversion = False
+
     def acquire(
         self, txn: Transaction, page: PageId, write: bool, cached_version: Optional[int]
     ) -> Generator[Event, Any, LockGrant]:
@@ -100,8 +107,25 @@ class CCProtocol:
         """
         raise NotImplementedError
 
+    def prepare_commit(self, txn: Transaction) -> Iterator[Event]:
+        """Commit phase 0: validate before any commit work is done.
+
+        Runs inside the COMMIT span before the log write.  Optimistic
+        protocols validate their read set here and raise
+        :class:`~repro.errors.TransactionAborted` on failure, which
+        flows into the normal rollback/restart path.  The default is a
+        zero-event no-op so locking protocols are unaffected.
+        """
+        return iter(())
+
     def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
-        """Release everything after a deadlock abort (no publications)."""
+        """Release everything after an abort (no publications).
+
+        Must be idempotent and interruption-safe: a crash can cut the
+        release short mid-generator and the fault path (or a racing
+        second abort) may run it again -- already-released entries are
+        skipped, never double-released.
+        """
         raise NotImplementedError
 
     def page_written_back(
@@ -124,6 +148,24 @@ class CCProtocol:
         """All lock tables the protocol maintains (crash cleanup scans
         them for queued requests of transactions killed by a crash)."""
         return ()
+
+    # -- introspection / result collection -----------------------------
+
+    def num_blocked(self) -> int:
+        """Transactions currently waiting inside the protocol (lock
+        queues, validation waits, epoch barriers)."""
+        return sum(table.num_blocked() for table in self.lock_tables())
+
+    def lock_stats(self) -> Dict[str, float]:
+        """CC-path statistics for result collection.
+
+        Protocols without the legacy GEM/PCL stat shapes report through
+        this generic view.  Required keys: ``local_share``,
+        ``remote_lock_requests``, ``lock_requests``, ``mean_lock_wait``,
+        ``page_requests``, ``mean_page_request_delay`` and
+        ``pages_supplied_with_grant``.
+        """
+        raise NotImplementedError
 
     def crash_node(self, faults: "FaultManager", record: "CrashRecord") -> None:
         """Synchronous protocol bookkeeping at the instant of a crash.

@@ -27,13 +27,19 @@ class DeadlockDetector:
     """System-wide waits-for graph and victim selection."""
 
     def __init__(self) -> None:
-        # txn -> (lock table it waits in, abort callback)
-        self._blocked: Dict[int, Tuple[LockTable, Callable[[], None]]] = {}
+        # txn -> (lock table it waits in or None, abort callback, kind)
+        self._blocked: Dict[
+            int, Tuple[Optional[LockTable], Callable[[], None], str]
+        ] = {}
         self.deadlocks_detected = 0
         self.victims: List[int] = []
 
     def register_block(
-        self, txn: int, table: LockTable, abort: Callable[[], None]
+        self,
+        txn: int,
+        table: Optional[LockTable],
+        abort: Callable[[], None],
+        kind: str = "lock",
     ) -> Optional[int]:
         """Record that ``txn`` blocked in ``table``.
 
@@ -43,8 +49,22 @@ class DeadlockDetector:
         part of a resolved cycle (possibly ``txn``), else None.  The DFS
         can surface cycles that do not contain ``txn`` at all -- those
         are resolved too, but must not be reported as the caller's.
+
+        ``kind`` distinguishes genuine lock-queue waits (``"lock"``,
+        the default) from waits that cannot deadlock -- MVCC commit
+        validation (``"validation"``) and DGCC epoch barriers
+        (``"barrier"``).  Non-lock waits are registered only so the
+        crash path (:meth:`abort_blocked`) can cancel them: they
+        contribute no waits-for edges, trigger no cycle search and are
+        never selected as deadlock victims.  ``table`` may be None for
+        such waits.
         """
-        self._blocked[txn] = (table, abort)
+        self._blocked[txn] = (table, abort, kind)
+        if kind != "lock":
+            # A wait with no outgoing waits-for edges cannot close a
+            # cycle; misclassifying it as a lock wait could victimize a
+            # validating/barrier-parked transaction that holds no locks.
+            return None
         caller_victim: Optional[int] = None
         while True:
             cycle = self._find_cycle(txn)
@@ -59,7 +79,7 @@ class DeadlockDetector:
                 # victim somehow is not, bail out rather than re-finding
                 # the same cycle forever.
                 return victim if txn in cycle else caller_victim
-            _table, abort_cb = table_cb
+            _table, abort_cb, _kind = table_cb
             self.clear(victim)
             abort_cb()
             if txn in cycle and caller_victim is None:
@@ -92,7 +112,9 @@ class DeadlockDetector:
         entry = self._blocked.get(txn)
         if entry is None:
             return set()
-        table, _abort = entry
+        table, _abort, kind = entry
+        if kind != "lock" or table is None:
+            return set()
         return table.waiting_for(txn)
 
     def _find_cycle(self, start: int) -> Optional[List[int]]:

@@ -387,18 +387,35 @@ class GemLockingProtocol(CCProtocol):
         txn.held_locks.clear()
 
     def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        # Idempotent and interruption-safe: pages are popped from
+        # held_locks as they are released (not cleared in one sweep at
+        # the end), and a page whose GLT entry is already gone -- a
+        # racing crash-induced abort released it, or this generator was
+        # interrupted mid-release and re-run -- is skipped instead of
+        # double-released (LockTable.release raises on unheld pages).
         node_id = txn.node
         node = self.cluster.nodes[node_id]
-        for page in txn.held_locks:
+        txn_id = txn.txn_id
+        held = txn.held_locks
+        while held:
+            page = next(iter(held))  # insertion order, like the old loop
+            if self.glt.holds(txn_id, page) is None:
+                held.pop(page, None)
+                continue
             authorized = self._auth and page in node.gem_auth
             if authorized:
                 yield from node.cpu.consume(self._lock_op_instr)
             else:
                 yield from self._entry_ops(node_id, 2)
-            granted = self.glt.release(txn.txn_id, page)
+            # Re-check after yielding: a crash-path abort may have
+            # raced this release while the entry accesses were queued.
+            if self.glt.holds(txn_id, page) is not None:
+                granted = self.glt.release(txn_id, page)
+            else:
+                granted = []
+            held.pop(page, None)
             if granted and not authorized:
                 yield from self._entry_ops(node_id, len(granted))
-        txn.held_locks.clear()
 
     # -- write-back hook ----------------------------------------------------------
 

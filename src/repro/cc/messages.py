@@ -45,6 +45,16 @@ __all__ = [
     "PageResponsePayload",
     "GltRevokePayload",
     "GlaTransferPayload",
+    "TimestampRequestPayload",
+    "TimestampResponsePayload",
+    "MvccReadPayload",
+    "MvccReadResponsePayload",
+    "MvccReservePayload",
+    "MvccValidatePayload",
+    "MvccInstallPayload",
+    "MvccAbortPayload",
+    "DgccJoinPayload",
+    "DgccDonePayload",
 ]
 
 
@@ -131,6 +141,113 @@ class GltRevokePayload(TypedDict):
     page: PageId
     ack: Event
     requester: int
+
+
+# -- multi-version CC (MVCC, loose coupling) ---------------------------
+
+
+class TimestampRequestPayload(TypedDict):
+    """``mv_ts``: draw a begin/commit timestamp from the authority."""
+
+    txn_id: int
+    #: Commit timestamps are published centrally at allocation time so
+    #: concurrent validators order themselves against this transaction
+    #: before the reply even arrives back; begin timestamps are not.
+    commit: bool
+    requester: int
+    reply: Event
+
+
+class TimestampResponsePayload(TypedDict):
+    """``mv_ts_rsp``: the drawn timestamp."""
+
+    ts: int
+
+
+class MvccReadPayload(TypedDict):
+    """``mv_read``: version-directory lookup at the page's home GLA."""
+
+    page: PageId
+    home: int
+    requester: int
+    reply: Event
+
+
+class MvccReadResponsePayload(TypedDict, total=False):
+    """``mv_read_rsp``: snapshot seqno; the page itself rides along
+    (long message) when the GLA buffers the current dirty copy."""
+
+    seqno: int
+    supplied: bool
+
+
+class MvccReservePayload(TypedDict):
+    """``mv_reserve``: first-writer-wins write reservation at the home
+    GLA; answered with a :class:`LockResponsePayload`."""
+
+    txn_id: int
+    page: PageId
+    home: int
+    #: Version of the requester's buffered copy (None: not cached).
+    cached_version: Optional[int]
+    requester: int
+    reply: Event
+
+
+class MvccValidatePayload(TypedDict):
+    """``mv_validate``: commit validation of the read-set slice homed
+    at one GLA (answered with an empty short reply)."""
+
+    txn_id: int
+    #: ``(page, version-read)`` pairs homed at ``home``.
+    pages: List[Tuple[PageId, int]]
+    home: int
+    requester: int
+    reply: Event
+
+
+class MvccInstallPayload(TypedDict):
+    """``mv_install``: committed versions installed at their home GLA
+    (the modified pages ride along under NOFORCE)."""
+
+    txn_id: int
+    pages: List[Tuple[PageId, int]]
+    #: True when modified pages ride along (makes the message long).
+    carry_pages: bool
+    home: int
+    requester: int
+    #: Succeeds back at the committer once the install is applied
+    #: (keeps commit completion ordered after directory publication).
+    ack: Event
+
+
+class MvccAbortPayload(TypedDict):
+    """``mv_abort``: clear an aborting transaction's write reservations
+    homed at one GLA."""
+
+    txn_id: int
+    pages: List[PageId]
+    home: int
+
+
+# -- dependency-graph CC (DGCC) ----------------------------------------
+
+
+class DgccJoinPayload(TypedDict):
+    """``dgcc_join``: ship a transaction's access set to the batch
+    scheduler (long message -- it carries the full read/write set)."""
+
+    txn_id: int
+    #: ``(page, is-write)`` pairs (the strongest mode per page).
+    accesses: List[Tuple[PageId, bool]]
+    requester: int
+
+
+class DgccDonePayload(TypedDict):
+    """``dgcc_done``: batch-member completion report to the scheduler."""
+
+    txn_id: int
+    committed: bool
 
 
 # -- fault handling ----------------------------------------------------

@@ -458,35 +458,48 @@ class PrimaryCopyProtocol(CCProtocol):
         yield from self._release(txn, commit=False)
 
     def _release(self, txn: Transaction, commit: bool) -> Generator[Event, Any, None]:
+        # Idempotent and interruption-safe: pages leave held_locks as
+        # their release is actually applied (local) or confirmed sent
+        # (remote group), never in one upfront sweep.  A crash that
+        # interrupts this generator leaves the unreleased remainder in
+        # held_locks, so failover snapshots still see those locks and a
+        # re-run releases exactly what is left; the GLA side tolerates
+        # the duplicate deliveries an interruption after a send can
+        # produce (see _apply_release).
         node = self.cluster.nodes[txn.node]
         faults = self.cluster.faults
+        held = txn.held_locks
         # Resolve every partition's effective host FIRST (this may wait
-        # at failover gates), then apply the whole release set without
+        # at failover gates), then apply the local release set without
         # yielding: a lock-table reconstruction snapshot therefore never
-        # observes a half-released transaction.
+        # observes a half-released local set.
         hosts: Dict[int, int] = {}
         if faults is not None:
-            for page in txn.held_locks:
+            # simlint: disable-next=DET001 -- held_locks order is the txn's deterministic access order
+            for page in held:
                 home = self.gla_map(page)
                 if home not in hosts:
                     hosts[home] = yield from faults.resolve_gla(home)
         remote_groups: Dict[Tuple[int, int], List[Tuple[PageId, Optional[int]]]] = {}
-        # No defensive copy: only the owning transaction's process
-        # mutates held_locks, and it is suspended in this generator.
-        for page in txn.held_locks:
+        # simlint: disable-next=DET001 -- held_locks order is the txn's deterministic access order
+        for page in list(held):
             new_version = txn.modified.get(page) if commit else None
             home = self.gla_map(page)
             host = hosts.get(home, home)
             if host == txn.node:
                 self._apply_release(txn.txn_id, page, new_version, home)
+                held.pop(page, None)
+                txn.auth_read_pages.discard(page)
             elif page in txn.auth_read_pages:
                 # Covered by a read authorization: release locally, no
                 # message to the GLA.
-                self.tables[home].release(txn.txn_id, page)
+                table = self.tables[home]
+                if table.holds(txn.txn_id, page) is not None:
+                    table.release(txn.txn_id, page)
+                held.pop(page, None)
+                txn.auth_read_pages.discard(page)
             else:
                 remote_groups.setdefault((host, home), []).append((page, new_version))
-        txn.held_locks.clear()
-        txn.auth_read_pages.clear()
         for (host, home), pages in remote_groups.items():
             modified = [(p, v) for p, v in pages if v is not None]
             long = self._noforce and bool(modified)
@@ -503,15 +516,30 @@ class PrimaryCopyProtocol(CCProtocol):
                 "home": home,
             }
             yield from node.comm.send(host, "release", release, long=long)
+            # Only now is the group the GLA's responsibility.
+            for page, _version in pages:
+                held.pop(page, None)
+                txn.auth_read_pages.discard(page)
 
     def _apply_release(
         self, txn_id: int, page: PageId, new_version: Optional[int], home: int
     ) -> None:
-        """Release one lock at its GLA and publish the new seqno."""
+        """Release one lock at its GLA and publish the new seqno.
+
+        Tolerates releases for locks no longer held: crash recovery may
+        already have reclaimed the lock, and an interrupted
+        ``_release`` re-run (or a resent group) can deliver the same
+        release twice.  Double-releasing would throw and -- worse --
+        could hand back a lock some *other* transaction now holds.
+        """
         table = self.tables[home]
+        if table.holds(txn_id, page) is None:
+            return
         entry = table.entry(page)
         if new_version is not None:
-            entry.seqno = new_version
+            # max(): never regress a seqno a rebuilt table already
+            # initialized from the committed ledger version.
+            entry.seqno = max(entry.seqno, new_version)
         table.release(txn_id, page)
 
     def _handle_release(

@@ -28,6 +28,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=4)
     parser.add_argument("--coupling", choices=["gem", "pcl"], default="gem")
     parser.add_argument(
+        "--protocol", choices=["2pl", "mvcc", "dgcc"], default="2pl",
+        help="concurrency control: strict two-phase locking (default), "
+             "multi-version optimistic CC, or dependency-graph batching",
+    )
+    parser.add_argument(
         "--routing", choices=["affinity", "random"], default="affinity"
     )
     parser.add_argument(
@@ -85,6 +90,7 @@ def _config_from_args(args: argparse.Namespace) -> SystemConfig:
         faults=faults,
         num_nodes=args.nodes,
         coupling=args.coupling,
+        protocol=args.protocol,
         routing=args.routing,
         update_strategy=args.update,
         arrival_rate_per_node=args.rate,
@@ -225,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser = sub.add_parser("experiments", help="regenerate tables/figures")
     exp_parser.add_argument(
         "figure",
-        help="table41, fig41..fig47, fig_failover, or 'all'",
+        help="table41, fig41..fig47, fig_failover, fig_shootout, or 'all'",
     )
     exp_parser.add_argument(
         "--scale", choices=["quick", "smoke", "full"], default="quick"

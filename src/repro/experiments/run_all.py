@@ -31,6 +31,7 @@ from repro.experiments import (
     fig46,
     fig47,
     fig_failover,
+    fig_shootout,
     table41,
 )
 from repro.experiments.common import Scale
@@ -48,6 +49,7 @@ FIGURES = [
     ("fig46", fig46),
     ("fig47", fig47),
     ("fig_failover", fig_failover),
+    ("fig_shootout", fig_shootout),
 ]
 
 

@@ -186,6 +186,25 @@ class BufferManager:
         if frame is not None and frame.version == version:
             frame.dirty = False
 
+    def invalidate_stale(self, page: PageId, current: int) -> None:
+        """Drop a cached copy older than ``current`` (MVCC validation
+        failure: the snapshot the copy served was superseded, and the
+        restarted transaction must refetch rather than re-read the same
+        stale frame forever).  Pinned or current frames are left alone.
+        """
+        frame = self._frames.get(page)
+        if frame is not None and frame.version < current and not frame.pins:
+            del self._frames[page]
+
+    @property
+    def _multiversion(self) -> bool:
+        """Whether the attached protocol maintains version chains.
+
+        Resolved late (the protocol is wired up after construction) and
+        tolerant of protocol stand-ins that predate the attribute.
+        """
+        return bool(getattr(self.node.protocol, "multiversion", False))
+
     def _stats_for(self, partition_index: int) -> PartitionBufferStats:
         stats = self.partition_stats.get(partition_index)
         if stats is None:
@@ -229,6 +248,15 @@ class BufferManager:
                     self._apply_write(txn, page, expected)
                 return iter(())
             if frame.version > expected:
+                if not page_access.write and self._multiversion:
+                    # Multi-version read: the frame holds a newer
+                    # (possibly uncommitted, pinned) version; the
+                    # version chain still serves the older committed
+                    # version the grant promised -- a hit, no I/O.
+                    if first_touch:
+                        stats.hits += 1
+                    self._frames.move_to_end(page)
+                    return iter(())
                 raise CoherencyError(
                     f"node {self.node.node_id} caches page {page} version "
                     f"{frame.version}, newer than promised {expected}"
@@ -267,16 +295,35 @@ class BufferManager:
                         txn, page, grant
                     )
                     if version is not None and version != expected:
-                        raise CoherencyError(
-                            f"owner supplied page {page} version {version}, "
-                            f"expected {expected}"
-                        )
+                        if (
+                            version > expected
+                            and not page_access.write
+                            and self._multiversion
+                        ):
+                            # The owner moved ahead of the read
+                            # snapshot; the chain serves the promised
+                            # version from the shipped copy.
+                            pass
+                        else:
+                            raise CoherencyError(
+                                f"owner supplied page {page} version {version}, "
+                                f"expected {expected}"
+                            )
                     # On ``None`` the ownership lapsed (owner wrote the
                     # page out); fall through to a storage read, which
                     # is guaranteed current again.
                 if version is None:
                     version = yield from self.node.storage.read(page, self.node.cpu)
-                    self.ledger.check_storage_current(page, expected)
+                    if not page_access.write and self._multiversion:
+                        # Multi-version read: storage versions only
+                        # grow, so anything at or above the promised
+                        # snapshot keeps that snapshot readable through
+                        # the chain; below it is a genuine protocol bug.
+                        if version < expected:
+                            self.ledger.check_storage_current(page, expected)
+                        version = max(version, expected)
+                    else:
+                        self.ledger.check_storage_current(page, expected)
                 yield from self._insert(page, version, dirty=False)
         if page_access.write:
             self._apply_write(txn, page, expected)

@@ -155,6 +155,11 @@ class TransactionManager:
                                     yield Timeout(sim, instr / speed)
                                 finally:
                                     cpu_res.release()
+                            # Commit phase 0: optimistic protocols
+                            # validate here and raise TransactionAborted
+                            # into the rollback/restart path below.  A
+                            # no-op (zero events) for locking protocols.
+                            yield from node.protocol.prepare_commit(txn)
                             yield from buffer.commit_phase1(txn)
                             # The modified versions become the globally
                             # committed ones.

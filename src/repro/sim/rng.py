@@ -12,7 +12,7 @@ import bisect
 import hashlib
 import itertools
 import random
-from typing import Callable, Dict, List, Sequence, TypeVar
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
 
 __all__ = ["StreamRegistry", "Stream", "derive_seed", "replicate_seed", "zipf_weights"]
 
@@ -107,6 +107,12 @@ class Stream:
         return count
 
 
+#: Memoized cumulative tables: building one is O(n) with a float pow
+#: per item, and every generator construction used to recompute the
+#: same ``(n, theta)`` table per access spec.
+_ZIPF_CACHE: Dict[Tuple[int, float], List[float]] = {}
+
+
 def zipf_weights(n: int, theta: float) -> List[float]:
     """Cumulative weights of a Zipf-like distribution over ``n`` items.
 
@@ -114,11 +120,18 @@ def zipf_weights(n: int, theta: float) -> List[float]:
     ``theta == 0`` this degenerates to the uniform distribution.  The
     returned list is cumulative, ready for
     :meth:`Stream.weighted_index`.
+
+    Tables are cached per ``(n, theta)`` and shared between callers;
+    treat the returned list as read-only.
     """
     if n <= 0:
         raise ValueError("n must be positive")
-    weights = [1.0 / (i + 1) ** theta for i in range(n)]
-    return list(itertools.accumulate(weights))
+    key = (n, theta)
+    table = _ZIPF_CACHE.get(key)
+    if table is None:
+        weights = [1.0 / (i + 1) ** theta for i in range(n)]
+        table = _ZIPF_CACHE[key] = list(itertools.accumulate(weights))
+    return table
 
 
 class StreamRegistry:

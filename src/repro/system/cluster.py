@@ -12,7 +12,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cc.deadlock import DeadlockDetector
+from repro.cc.dgcc import DgccProtocol
 from repro.cc.gem_locking import GemLockingProtocol
+from repro.cc.mvcc import MvccProtocol
 from repro.cc.pcl import PrimaryCopyProtocol
 from repro.db.debitcredit import DebitCreditLayout
 from repro.db.pages import PageId, VersionLedger
@@ -104,7 +106,14 @@ class Cluster:
             Node(self.sim, node_id, self) for node_id in range(config.num_nodes)
         ]
         # -- protocol -------------------------------------------------------
-        if config.coupling is Coupling.GEM:
+        # The 2PL row of the protocol matrix keeps the paper's two
+        # regime-specific implementations; MVCC and DGCC are single
+        # implementations parameterized by the coupling's cost model.
+        if config.protocol == "mvcc":
+            self.protocol = MvccProtocol(self, self._gla_map)
+        elif config.protocol == "dgcc":
+            self.protocol = DgccProtocol(self, self._gla_map)
+        elif config.coupling is Coupling.GEM:
             self.protocol = GemLockingProtocol(self)
         else:
             self.protocol = PrimaryCopyProtocol(self, self._gla_map)
@@ -278,11 +287,9 @@ class Cluster:
         return channels
 
     def blocked_transactions(self) -> int:
-        """Transactions currently blocked in lock waits, cluster-wide."""
-        protocol = self.protocol
-        if isinstance(protocol, PrimaryCopyProtocol):
-            return sum(table.num_blocked() for table in protocol.tables)
-        return protocol.glt.num_blocked()
+        """Transactions currently waiting inside the protocol
+        (lock queues, validation waits, epoch barriers), cluster-wide."""
+        return self.protocol.num_blocked()
 
     # -- results -----------------------------------------------------------------
 
@@ -331,14 +338,23 @@ class Cluster:
             page_req = 0
             page_req_delay = 0.0
             supplied = protocol.pages_supplied_with_grant
-        else:
+        elif isinstance(protocol, GemLockingProtocol):
             local_share = 1.0
             remote_locks = 0
-            total_locks = self.protocol.glt.requests
+            total_locks = protocol.glt.requests
             lock_wait = protocol.lock_wait_time.mean
             page_req = protocol.page_requests
             page_req_delay = protocol.page_request_delay.mean
             supplied = 0
+        else:
+            stats = protocol.lock_stats()
+            local_share = stats["local_share"]
+            remote_locks = int(stats["remote_lock_requests"])
+            total_locks = int(stats["lock_requests"])
+            lock_wait = stats["mean_lock_wait"]
+            page_req = int(stats["page_requests"])
+            page_req_delay = stats["mean_page_request_delay"]
+            supplied = int(stats["pages_supplied_with_grant"])
         per_txn = (1.0 / completed) if completed else 0.0
         return RunResult(
             num_nodes=config.num_nodes,

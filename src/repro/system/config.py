@@ -224,6 +224,17 @@ class SystemConfig:
     #: manipulation in main memory around the Compare&Swap).
     instructions_per_gem_entry_op: float = 100.0
 
+    # -- concurrency control -----------------------------------------------
+    #: Concurrency-control protocol: "2pl" (the paper's locking scheme,
+    #: GEM GLT or primary-copy depending on ``coupling``), "mvcc"
+    #: (Hekaton-style multi-version optimistic CC) or "dgcc"
+    #: (dependency-graph batched execution).  MVCC and DGCC run under
+    #: both coupling regimes with regime-specific cost models.
+    protocol: str = "2pl"
+    #: DGCC epoch length in simulated seconds: arrivals batch for one
+    #: epoch, then execute as conflict-free dependency-graph layers.
+    dgcc_epoch_seconds: float = 0.005
+
     # -- protocol options --------------------------------------------------
     #: Read optimization for PCL (local read locks without GLA); the
     #: paper enables this for the trace experiments.
@@ -274,6 +285,10 @@ class SystemConfig:
             raise ValueError(f"unknown workload {self.workload!r}")
         if self.workload == "synthetic" and self.synthetic is None:
             raise ValueError("workload='synthetic' requires a synthetic spec")
+        if self.protocol not in ("2pl", "mvcc", "dgcc"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.dgcc_epoch_seconds <= 0:
+            raise ValueError("dgcc_epoch_seconds must be positive")
         if self.mpl_per_node < 1:
             raise ValueError("mpl_per_node must be >= 1")
         if self.buffer_pages_per_node < 10:

@@ -62,6 +62,8 @@ class Transaction:
         "remote_lock_requests",
         "local_lock_requests",
         "page_requests",
+        "begin_ts",
+        "read_versions",
     )
 
     def __init__(
@@ -102,6 +104,11 @@ class Transaction:
         self.remote_lock_requests: int = 0
         self.local_lock_requests: int = 0
         self.page_requests: int = 0
+        #: MVCC begin timestamp (None until the protocol assigns one).
+        self.begin_ts: Optional[int] = None
+        #: MVCC read set: page -> committed version observed at read
+        #: time, validated against the current version at commit.
+        self.read_versions: Dict[PageId, int] = {}
 
     @property
     def is_update(self) -> bool:
@@ -130,6 +137,8 @@ class Transaction:
         self.remote_lock_requests = 0
         self.local_lock_requests = 0
         self.page_requests = 0
+        self.begin_ts = None
+        self.read_versions.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,136 @@
+"""Regression tests: ``abort_release`` is idempotent and leak-free.
+
+The release paths of both lock-based protocols used to sweep
+``txn.held_locks`` up front and then release the swept set, so a
+second (or concurrently running) ``abort_release`` for the same
+transaction -- which happens when a deadlock-victim restart races a
+crash-triggered abort -- would try to release locks that were no
+longer held and blow up (GEM) or re-send release messages for them
+(PCL).  Pages must leave ``held_locks`` only as their release is
+actually applied, and a repeated call must find nothing left to do.
+"""
+
+from tests.helpers import drive_cluster as drive
+from tests.helpers import make_txn, quiesced_cluster
+
+
+def page_of_node(cluster, node, offset=0):
+    branch = node * cluster.layout.config.branches_per_node + offset
+    return cluster.layout.branch_teller_page(branch)
+
+
+def acquire_pages(cluster, txn, pages, write=True):
+    def proc():
+        for page in pages:
+            yield from cluster.protocol.acquire(txn, page, write, None)
+
+    drive(cluster, proc())
+
+
+def assert_no_leaks(cluster, txn):
+    assert not txn.held_locks
+    for table in cluster.protocol.lock_tables():
+        for page in list(table._entries):
+            assert table.holds(txn.txn_id, page) is None, page
+    assert cluster.protocol.num_blocked() == 0
+
+
+class TestRepeatedAbort:
+    def test_gem_double_abort_is_noop(self):
+        cluster = quiesced_cluster(num_nodes=3, coupling="gem")
+        txn = make_txn(1, 0)
+        pages = [page_of_node(cluster, 0), page_of_node(cluster, 1)]
+        acquire_pages(cluster, txn, pages)
+
+        drive(cluster, cluster.protocol.abort_release(txn))
+        assert_no_leaks(cluster, txn)
+        # Pre-fix this raised (releasing locks no longer held).
+        drive(cluster, cluster.protocol.abort_release(txn))
+        assert_no_leaks(cluster, txn)
+
+    def test_pcl_double_abort_is_noop(self):
+        cluster = quiesced_cluster(num_nodes=3, coupling="pcl")
+        txn = make_txn(1, 0)
+        pages = [page_of_node(cluster, 0), page_of_node(cluster, 1),
+                 page_of_node(cluster, 2)]
+        acquire_pages(cluster, txn, pages)
+
+        def double_abort():
+            yield from cluster.protocol.abort_release(txn)
+            yield from cluster.protocol.abort_release(txn)
+            # Drain the release messages at the remote GLAs.
+            yield cluster.sim.timeout(0.1)
+
+        drive(cluster, double_abort())
+        assert_no_leaks(cluster, txn)
+
+    def test_mvcc_double_abort_is_noop(self):
+        for coupling in ("gem", "pcl"):
+            cluster = quiesced_cluster(
+                num_nodes=3, coupling=coupling, protocol="mvcc"
+            )
+            txn = make_txn(1, 0)
+            pages = [page_of_node(cluster, 0), page_of_node(cluster, 1)]
+            acquire_pages(cluster, txn, pages)
+
+            def double_abort():
+                yield from cluster.protocol.abort_release(txn)
+                yield from cluster.protocol.abort_release(txn)
+                yield cluster.sim.timeout(0.1)
+
+            drive(cluster, double_abort())
+            assert_no_leaks(cluster, txn)
+
+    def test_dgcc_double_abort_is_noop(self):
+        for coupling in ("gem", "pcl"):
+            cluster = quiesced_cluster(
+                num_nodes=3, coupling=coupling, protocol="dgcc"
+            )
+            txn = make_txn(1, 0)
+            txn.accesses = []
+            pages = [page_of_node(cluster, 0), page_of_node(cluster, 1)]
+            acquire_pages(cluster, txn, pages)
+
+            def double_abort():
+                yield from cluster.protocol.abort_release(txn)
+                yield from cluster.protocol.abort_release(txn)
+                yield cluster.sim.timeout(0.1)
+
+            drive(cluster, double_abort())
+            assert_no_leaks(cluster, txn)
+
+
+class TestConcurrentAbort:
+    """Two aborts of one transaction racing each other (deadlock-victim
+    restart vs crash cleanup) must release every lock exactly once."""
+
+    def test_gem_concurrent_aborts(self):
+        cluster = quiesced_cluster(num_nodes=3, coupling="gem")
+        txn = make_txn(1, 0)
+        pages = [page_of_node(cluster, 0), page_of_node(cluster, 1),
+                 page_of_node(cluster, 1, offset=1)]
+        acquire_pages(cluster, txn, pages)
+
+        def race():
+            first = cluster.sim.process(cluster.protocol.abort_release(txn))
+            second = cluster.sim.process(cluster.protocol.abort_release(txn))
+            yield cluster.sim.all_of([first, second])
+
+        drive(cluster, race())
+        assert_no_leaks(cluster, txn)
+
+    def test_pcl_concurrent_aborts(self):
+        cluster = quiesced_cluster(num_nodes=3, coupling="pcl")
+        txn = make_txn(1, 0)
+        pages = [page_of_node(cluster, 0), page_of_node(cluster, 1),
+                 page_of_node(cluster, 2)]
+        acquire_pages(cluster, txn, pages)
+
+        def race():
+            first = cluster.sim.process(cluster.protocol.abort_release(txn))
+            second = cluster.sim.process(cluster.protocol.abort_release(txn))
+            yield cluster.sim.all_of([first, second])
+            yield cluster.sim.timeout(0.1)
+
+        drive(cluster, race())
+        assert_no_leaks(cluster, txn)

@@ -1,0 +1,94 @@
+"""Regression tests: non-lock waits never become deadlock victims.
+
+MVCC commit validation and DGCC epoch barriers park transactions and
+register with the detector so crash cleanup can cancel the wait -- but
+those waits hold no lock-queue position and cannot close a waits-for
+cycle.  The detector used to treat every registration as a lock wait;
+a validating transaction that still appeared in a lock table's holder
+list could then be misreported as the victim of a cycle it was not
+part of.
+"""
+
+from repro.cc.deadlock import DeadlockDetector
+from repro.node.lock_table import LockMode, LockTable
+
+X = LockMode.EXCLUSIVE
+
+
+def noop():
+    pass
+
+
+class TestNonLockKinds:
+    def test_validation_wait_triggers_no_cycle_search(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        # A real lock cycle between 1 and 2 exists in the table ...
+        table.request(1, (0, 1), X, noop)
+        table.request(2, (0, 2), X, noop)
+        table.request(1, (0, 2), X, noop)
+        detector.register_block(1, table, lambda: aborted.append(1))
+        table.request(2, (0, 1), X, noop)
+        # ... but transaction 3's validation wait must not resolve it:
+        # a non-lock registration runs no cycle search at all.
+        victim = detector.register_block(
+            3, None, lambda: aborted.append(3), kind="validation"
+        )
+        assert victim is None
+        assert detector.deadlocks_detected == 0
+        assert aborted == []
+
+    def test_validation_waiter_is_never_the_victim(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        # Transaction 9 (youngest) holds a lock and parks in validation.
+        table.request(9, (0, 1), X, noop)
+        detector.register_block(
+            9, table, lambda: aborted.append(9), kind="validation"
+        )
+        # 1 and 2 deadlock; 9 waits on nothing, so the cycle is 1<->2
+        # and the victim must be 2 -- not 9, even though 9 is youngest
+        # and registered with the same table.
+        table.request(1, (0, 2), X, noop)
+        table.request(2, (0, 3), X, noop)
+        table.request(1, (0, 3), X, noop)
+        detector.register_block(1, table, lambda: aborted.append(1))
+        table.request(2, (0, 2), X, noop)
+        victim = detector.register_block(2, table, lambda: aborted.append(2))
+        assert victim == 2
+        assert aborted == [2]
+        assert detector.is_blocked(9)
+
+    def test_barrier_wait_contributes_no_edges(self):
+        detector = DeadlockDetector()
+        table = LockTable()
+        aborted = []
+        # 1 waits for 2's lock; 2 is parked at a DGCC barrier.  Even if
+        # a bogus table were attached to the barrier registration there
+        # is no 2 -> 1 edge, so no cycle may be reported.
+        table.request(2, (0, 1), X, noop)
+        table.request(1, (0, 1), X, noop)
+        detector.register_block(
+            2, table, lambda: aborted.append(2), kind="barrier"
+        )
+        victim = detector.register_block(1, table, lambda: aborted.append(1))
+        assert victim is None
+        assert detector.deadlocks_detected == 0
+        assert aborted == []
+
+    def test_crash_cleanup_still_cancels_non_lock_waits(self):
+        detector = DeadlockDetector()
+        cancelled = []
+        detector.register_block(
+            7, None, lambda: cancelled.append(7), kind="validation"
+        )
+        detector.register_block(
+            8, None, lambda: cancelled.append(8), kind="barrier"
+        )
+        assert detector.abort_blocked(7)
+        assert detector.abort_blocked(8)
+        assert cancelled == [7, 8]
+        assert not detector.is_blocked(7)
+        assert not detector.is_blocked(8)

@@ -28,10 +28,11 @@ down_times = st.floats(min_value=0.2, max_value=0.5)
 victims = st.integers(min_value=0, max_value=2)
 
 
-def run_and_check(coupling, seed, faults=None):
+def run_and_check(coupling, seed, faults=None, protocol="2pl"):
     config = system_config(
         num_nodes=3,
         coupling=coupling,
+        protocol=protocol,
         arrival_rate_per_node=40.0,
         warmup_time=0.2,
         measure_time=1.2,
@@ -110,3 +111,67 @@ class TestFaultInvariants:
         }
         cluster = run_and_check(coupling, seed, faults=faults)
         assert cluster.faults.crashes == 1
+
+
+class TestModernProtocolCrashCycles:
+    """MVCC and DGCC through scripted crash -> recover -> reintegrate.
+
+    The same invariants as for 2PL: a clean run is the no-stale-reads
+    check, sampled committed versions never regress, and post-recovery
+    protocol state references no dead transaction.
+    """
+
+    @given(
+        coupling=couplings,
+        seed=seeds,
+        node=victims,
+        crash_time=crash_times,
+        down_time=down_times,
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_mvcc_crash_cycle(self, coupling, seed, node, crash_time, down_time):
+        faults = {
+            "crashes": [
+                {"node": node, "time": crash_time, "down_time": down_time}
+            ]
+        }
+        cluster = run_and_check(coupling, seed, faults=faults, protocol="mvcc")
+        assert cluster.faults.crashes == 1
+        # No reservation or commit timestamp of a killed transaction
+        # may survive recovery.
+        killed = {
+            txn.txn_id
+            for record in cluster.faults.records
+            for txn in record.killed
+        }
+        for page, holder in cluster.protocol._reservations.items():
+            assert holder not in killed, (page, holder)
+        for txn_id in cluster.protocol._txn_tc:
+            assert txn_id not in killed, txn_id
+
+    @given(
+        coupling=couplings,
+        seed=seeds,
+        node=victims,
+        crash_time=crash_times,
+        down_time=down_times,
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_dgcc_crash_cycle(self, coupling, seed, node, crash_time, down_time):
+        faults = {
+            "crashes": [
+                {"node": node, "time": crash_time, "down_time": down_time}
+            ]
+        }
+        cluster = run_and_check(coupling, seed, faults=faults, protocol="dgcc")
+        assert cluster.faults.crashes == 1
+        # No batch member of a killed transaction may survive, and no
+        # ownership entry may still point at the crashed node's buffer
+        # (it either moved on commit elsewhere or was cleared/redone).
+        killed = {
+            txn.txn_id
+            for record in cluster.faults.records
+            for txn in record.killed
+        }
+        for txn_id in cluster.protocol._members:
+            assert txn_id not in killed, txn_id

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import StreamRegistry
+from repro.sim import rng
 from repro.sim.rng import zipf_weights
 
 
@@ -94,3 +95,44 @@ class TestZipf:
         first = sum(stream.weighted_index(cumulative) == 0 for _ in range(n))
         last = sum(stream.weighted_index(cumulative) == 99 for _ in range(n))
         assert first > 10 * max(last, 1)
+
+class TestZipfCache:
+    """The memoized cumulative tables must be bit-identical to a fresh
+    computation -- caching is a pure speedup, never a semantic change."""
+
+    def test_repeated_calls_share_one_table(self):
+        rng._ZIPF_CACHE.clear()
+        first = zipf_weights(128, 0.8)
+        second = zipf_weights(128, 0.8)
+        assert second is first
+
+    def test_cached_table_bit_identical_to_fresh(self):
+        import itertools
+
+        rng._ZIPF_CACHE.clear()
+        cached = zipf_weights(512, 0.73)
+        fresh = list(
+            itertools.accumulate(1.0 / (i + 1) ** 0.73 for i in range(512))
+        )
+        # Float equality on purpose: the cache must not change a single
+        # bit of any weight (goldens depend on the sampled sequences).
+        assert cached == fresh
+        assert [w.hex() for w in cached] == [w.hex() for w in fresh]
+
+    def test_sampling_unchanged_by_cache_state(self):
+        rng._ZIPF_CACHE.clear()
+        cold_stream = StreamRegistry(11).stream("zipf")
+        cold = [
+            cold_stream.weighted_index(zipf_weights(64, 1.1)) for _ in range(200)
+        ]
+        warm_stream = StreamRegistry(11).stream("zipf")
+        warm = [
+            warm_stream.weighted_index(zipf_weights(64, 1.1)) for _ in range(200)
+        ]
+        assert cold == warm
+
+    def test_distinct_parameters_get_distinct_tables(self):
+        rng._ZIPF_CACHE.clear()
+        assert zipf_weights(8, 0.5) is not zipf_weights(8, 0.6)
+        assert zipf_weights(8, 0.5) is not zipf_weights(9, 0.5)
+        assert len(rng._ZIPF_CACHE) == 3
