@@ -108,6 +108,15 @@ def predict_debit_credit(config: SystemConfig) -> DebitCreditPrediction:
             4.0 * config.instructions_msg_short  # request round
             + 2.0 * config.instructions_msg_short  # release one-way
         )
+    elif config.coupling is Coupling.RDMA:
+        # One-sided locking: 1 CAS to acquire + 1 CAS to release per
+        # lock; under NOFORCE each transaction additionally installs
+        # its modified pages into the pool (one write verb) and the
+        # eventual write-back clears the residency word (one CAS).
+        verbs = locks * 2.0
+        if config.noforce:
+            verbs += 2.0
+        instructions += verbs * config.instructions_per_rdma_op
     else:
         # GEM locking: 2 entry accesses to acquire + 2 to release.
         entry_ops = locks * 4.0

@@ -18,6 +18,11 @@ Coupling regimes differ only in where the scheduler state lives:
   joining and publishing the schedule are synchronous entry accesses,
   completion reports are entry writes.  The batch state survives node
   crashes.
+* **RDMA**: the batch area lives in the disaggregated memory pool;
+  joins, schedule publication and completions are remote CAS round
+  trips, committed pages are installed into the pool and fetched from
+  it with one-sided reads (no owner messages).  The batch state
+  survives node crashes like under GEM.
 * **PCL**: the lowest-numbered surviving node runs the scheduler;
   joins ship the access set in a long message, the schedule is
   broadcast in short messages, completions are short messages.
@@ -53,6 +58,7 @@ from repro.cc.messages import (
 from repro.db.pages import PageId
 from repro.obs import phases
 from repro.node.lock_table import LockTable
+from repro.node.rdma import RdmaAccessHelper
 from repro.sim.engine import Event
 from repro.sim.stats import Tally
 from repro.system.config import Coupling
@@ -98,7 +104,16 @@ class DgccProtocol(CCProtocol):
         self.detector = cluster.detector
         self.recorder = cluster.recorder
         self.gla_map = gla_map
-        self._gem_mode = cluster.config.coupling is Coupling.GEM
+        #: Central batch-area mode: GEM and RDMA share the structure
+        #: (crash-surviving batch state, synchronous word accesses);
+        #: only the word-access cost model differs.
+        self._gem_mode = cluster.config.coupling is not Coupling.PCL
+        #: Pool-access helper under ``coupling="rdma"``, else None.
+        self._rdma: Optional[RdmaAccessHelper] = (
+            RdmaAccessHelper(cluster)
+            if cluster.config.coupling is Coupling.RDMA
+            else None
+        )
         self._epoch = self.config.dgcc_epoch_seconds
         # Hot-path config values, resolved once.
         self._gem_entry_instr = self.config.instructions_per_gem_entry_op
@@ -142,7 +157,11 @@ class DgccProtocol(CCProtocol):
     def _entry_ops(
         self, node_id: int, count: int, txn_id: Optional[int] = None
     ) -> Generator[Event, Any, None]:
-        """``count`` synchronous GEM batch-area entry accesses."""
+        """``count`` batch-area word accesses: synchronous GEM entry
+        accesses, or remote CAS round trips under disaggregation."""
+        if self._rdma is not None:
+            yield from self._rdma.cas(node_id, count, txn_id=txn_id)
+            return
         cpu = self.cluster.nodes[node_id].cpu
         with self.recorder.span(txn_id, phases.GEM):
             yield from cpu.grab()
@@ -277,16 +296,27 @@ class DgccProtocol(CCProtocol):
         txn.held_locks[page] = write or txn.held_locks.get(page, False)
         seqno = self._seqnos.get(page, 0)
         if self._noforce:
-            owner = self._owners.get(page)
-            if owner is not None and owner != txn.node:
-                faults = self.cluster.faults
-                if faults is None or not faults.is_down(owner):
+            if self._rdma is not None:
+                if self._rdma.current(page, seqno):
+                    # Pool-resident committed copy: a one-sided read
+                    # serves it, installer liveness irrelevant.
                     return LockGrant(
                         seqno,
                         source=PageSource.OWNER,
-                        owner_node=owner,
+                        owner_node=self._owners.get(page),
                         local=True,
                     )
+            else:
+                owner = self._owners.get(page)
+                if owner is not None and owner != txn.node:
+                    faults = self.cluster.faults
+                    if faults is None or not faults.is_down(owner):
+                        return LockGrant(
+                            seqno,
+                            source=PageSource.OWNER,
+                            owner_node=owner,
+                            local=True,
+                        )
         return LockGrant(seqno, source=PageSource.STORAGE, local=True)
 
     def _join(self, txn: Transaction) -> Generator[Event, Any, None]:
@@ -349,6 +379,16 @@ class DgccProtocol(CCProtocol):
     def request_page_from_owner(
         self, txn: Transaction, page: PageId, grant: LockGrant
     ) -> Generator[Event, Any, Optional[int]]:
+        if self._rdma is not None:
+            # One-sided pool read; no owner participates.
+            self.page_requests += 1
+            pool_started = self.sim.now
+            pool_version = yield from self._rdma.fetch(txn, page, grant.seqno)
+            if pool_version is None:
+                self.page_requests_failed += 1
+            else:
+                self.page_request_delay.record(self.sim.now - pool_started)
+            return pool_version
         assert grant.owner_node is not None
         self.page_requests += 1
         started = self.sim.now
@@ -408,6 +448,10 @@ class DgccProtocol(CCProtocol):
             else:
                 done: DgccDonePayload = {"txn_id": txn_id, "committed": True}
                 yield from node.comm.send(coord, "dgcc_done", done)
+        if self._rdma is not None and self._noforce and modified:
+            # Disaggregation: committed pages go into the pool with
+            # one-sided writes; stale cache copies drop at this instant.
+            yield from self._rdma.install(node_id, modified)
         for page, version in modified:
             if version > self._seqnos.get(page, 0):
                 self._seqnos[page] = version
@@ -441,6 +485,8 @@ class DgccProtocol(CCProtocol):
             yield from self._entry_ops(node_id, 1)
         if self._owners.get(page) == node_id:
             del self._owners[page]
+        if self._rdma is not None:
+            self._rdma.written_back(page, version)
 
     # -- fault injection ---------------------------------------------------
 
@@ -467,6 +513,11 @@ class DgccProtocol(CCProtocol):
             ):
                 continue
             record.lost[page] = committed
+        # Disaggregation: pages whose committed version is pool-resident
+        # did not die with the node's buffer -- trim them from the lost
+        # set before the fault manager fences it behind REDO.
+        if self._rdma is not None:
+            self._rdma.trim_lost(record)
 
     def recover(
         self, faults: "FaultManager", record: "CrashRecord"
@@ -501,9 +552,14 @@ class DgccProtocol(CCProtocol):
         for page in sorted(p for p, o in self._owners.items() if o == record.node):
             self._owners.pop(page, None)
 
-    # reintegrate: the base no-op is correct in both regimes -- the
-    # restarted node simply resumes joining batches; there is no
-    # partitioned protocol state to fail back.
+    def reintegrate(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
+        """GEM/PCL: no-op -- the restarted node simply resumes joining
+        batches; there is no partitioned protocol state to fail back.
+        RDMA: the node must re-register with the fabric first."""
+        if self._rdma is not None:
+            yield from self._rdma.reintegrate(record)
 
     # -- introspection / statistics ----------------------------------------
 

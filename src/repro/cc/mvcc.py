@@ -21,6 +21,14 @@ read is still current.  The serialization order is the order of
   counter is served by the lowest-numbered surviving node.  A crash
   loses the dead node's directory partition; it is rebuilt from the
   committed ledger during failover.
+* Under **memory disaggregation (RDMA)** the directory has the GEM
+  structure -- one central version directory, crash-surviving -- but
+  every directory word access is a one-sided remote CAS against the
+  pool (:class:`~repro.node.rdma.RdmaAccessHelper`), committed pages
+  are installed into the pool with one-sided page writes (eagerly
+  invalidating stale compute-side cache copies), and a missing page
+  is fetched from the pool with a one-sided read instead of an
+  owner-to-requester message exchange.
 
 Validation waits use commit-timestamp order: a validator only ever
 waits for reservation holders with a *smaller assigned* commit
@@ -63,6 +71,7 @@ from repro.db.pages import PageId
 from repro.errors import TransactionAborted
 from repro.obs import phases
 from repro.node.lock_table import LockTable
+from repro.node.rdma import RdmaAccessHelper
 from repro.sim.engine import Event
 from repro.sim.stats import Tally
 from repro.system.config import Coupling
@@ -90,9 +99,19 @@ class MvccProtocol(CCProtocol):
         self.detector = cluster.detector
         self.recorder = cluster.recorder
         self.gla_map = gla_map
-        self._gem_mode = cluster.config.coupling is Coupling.GEM
+        #: Central-directory mode: GEM and RDMA share the directory
+        #: structure (one crash-surviving table, synchronous word
+        #: accesses); only the word-access cost model differs.
+        self._gem_mode = cluster.config.coupling is not Coupling.PCL
+        #: Pool-access helper when the directory lives in disaggregated
+        #: memory (``coupling="rdma"``), else None.
+        self._rdma: Optional[RdmaAccessHelper] = (
+            RdmaAccessHelper(cluster)
+            if cluster.config.coupling is Coupling.RDMA
+            else None
+        )
         if self._gem_mode:
-            #: One GEM-resident version directory (non-volatile).
+            #: One GEM/pool-resident version directory (non-volatile).
             self.tables: List[LockTable] = [LockTable("mvccdir")]
         else:
             #: Per-home directory partitions, volatile like the GLAs.
@@ -148,7 +167,11 @@ class MvccProtocol(CCProtocol):
     def _entry_ops(
         self, node_id: int, count: int, txn_id: Optional[int] = None
     ) -> Generator[Event, Any, None]:
-        """``count`` synchronous GEM directory entry accesses."""
+        """``count`` directory word accesses: synchronous GEM entry
+        accesses, or remote CAS round trips under disaggregation."""
+        if self._rdma is not None:
+            yield from self._rdma.cas(node_id, count, txn_id=txn_id)
+            return
         cpu = self.cluster.nodes[node_id].cpu
         with self.recorder.span(txn_id, phases.GEM):
             yield from cpu.grab()
@@ -261,6 +284,14 @@ class MvccProtocol(CCProtocol):
         """Local/GEM grant: hand out the owner if another node's buffer
         holds the current version (GEM NOFORCE page transfer)."""
         owner = self._table_for(page).entry(page).owner
+        if self._rdma is not None:
+            if self._noforce and self._rdma.current(page, seqno):
+                # The committed copy is pool-resident: served by a
+                # one-sided read, installer liveness irrelevant.
+                return LockGrant(
+                    seqno, source=PageSource.OWNER, owner_node=owner, local=True
+                )
+            return LockGrant(seqno, source=PageSource.STORAGE, local=True)
         if (
             self._gem_mode
             and self._noforce
@@ -480,6 +511,16 @@ class MvccProtocol(CCProtocol):
     def request_page_from_owner(
         self, txn: Transaction, page: PageId, grant: LockGrant
     ) -> Generator[Event, Any, Optional[int]]:
+        if self._rdma is not None:
+            # One-sided pool read; no owner participates.
+            self.page_requests += 1
+            pool_started = self.sim.now
+            pool_version = yield from self._rdma.fetch(txn, page, grant.seqno)
+            if pool_version is None:
+                self.page_requests_failed += 1
+            else:
+                self.page_request_delay.record(self.sim.now - pool_started)
+            return pool_version
         assert grant.owner_node is not None
         self.page_requests += 1
         started = self.sim.now
@@ -685,6 +726,13 @@ class MvccProtocol(CCProtocol):
             if new_version is not None:
                 entry.seqno = max(entry.seqno, new_version)
                 entry.owner = node_id if self._noforce else None
+                if self._rdma is not None and self._noforce:
+                    # Disaggregation: the committed page itself goes
+                    # into the pool (one-sided write) and stale
+                    # compute-side cache copies drop at this instant.
+                    yield from self._rdma.install(
+                        node_id, ((page, new_version),)
+                    )
             if self._reservations.get(page) == txn_id:
                 del self._reservations[page]
             held.pop(page, None)
@@ -887,6 +935,8 @@ class MvccProtocol(CCProtocol):
             yield from self._entry_ops(node_id, 2)
         if entry.owner == node_id and entry.seqno == version:
             entry.owner = None
+        if self._rdma is not None:
+            self._rdma.written_back(page, version)
 
     # -- fault injection ---------------------------------------------------
 
@@ -896,8 +946,13 @@ class MvccProtocol(CCProtocol):
     def crash_node(self, faults: "FaultManager", record: "CrashRecord") -> None:
         if self._gem_mode:
             # Directory, reservations and timestamp counter live in
-            # non-volatile GEM and survive; recovery only has to clean
-            # up on behalf of the dead transactions.
+            # non-volatile GEM (or the pool) and survive; recovery only
+            # has to clean up on behalf of the dead transactions.  Under
+            # disaggregation, pages whose committed version is
+            # pool-resident did not die with the node's buffer: trim
+            # them from the lost set before the REDO fences go up.
+            if self._rdma is not None:
+                self._rdma.trim_lost(record)
             return
         home = record.node
         faults.close_partition(home)
@@ -947,6 +1002,11 @@ class MvccProtocol(CCProtocol):
         cfg = faults.config
         dead_ids = sorted({txn.txn_id for txn in record.killed})
         if self._gem_mode:
+            if self._rdma is not None:
+                # The dead node's pool-resident reservation words are
+                # reclaimable only after its lease expired (no server
+                # can revoke one-sided state earlier).
+                yield from self._rdma.lease_wait(record)
             for txn_id in dead_ids:
                 pages = sorted(
                     p for p, h in self._reservations.items() if h == txn_id
@@ -1025,10 +1085,13 @@ class MvccProtocol(CCProtocol):
     def reintegrate(
         self, faults: "FaultManager", record: "CrashRecord"
     ) -> Generator[Event, Any, None]:
-        """GEM: nothing to do (directory state never moved).  PCL:
-        partition failback -- flush the interim host's committed dirty
-        pages of the partition and ship the directory back."""
+        """GEM: nothing to do (directory state never moved).  RDMA: the
+        restarted node re-registers with the fabric.  PCL: partition
+        failback -- flush the interim host's committed dirty pages of
+        the partition and ship the directory back."""
         if self._gem_mode:
+            if self._rdma is not None:
+                yield from self._rdma.reintegrate(record)
             return
         home = record.node
         host = faults.gla_host(home)

@@ -26,7 +26,12 @@ __all__ = ["main", "build_parser"]
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=4)
-    parser.add_argument("--coupling", choices=["gem", "pcl"], default="gem")
+    parser.add_argument(
+        "--coupling", choices=["gem", "pcl", "rdma"], default="gem",
+        help="coupling regime: GEM close coupling (default), loosely "
+             "coupled primary-copy locking, or RDMA-style memory "
+             "disaggregation",
+    )
     parser.add_argument(
         "--protocol", choices=["2pl", "mvcc", "dgcc"], default="2pl",
         help="concurrency control: strict two-phase locking (default), "
@@ -185,8 +190,20 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.figure not in modules:
         print(f"unknown figure {args.figure!r}", file=sys.stderr)
         return 2
+    kwargs = {}
+    if getattr(args, "protocol", None):
+        import inspect
+
+        run_params = inspect.signature(modules[args.figure].run).parameters
+        if "protocol" in run_params:
+            kwargs["protocol"] = args.protocol
+        elif "protocols" in run_params:
+            kwargs["protocols"] = (args.protocol,)
+        else:
+            print(f"{args.figure} does not take --protocol", file=sys.stderr)
+            return 2
     with _make_runner(args) as runner:
-        print(modules[args.figure].run(scale, runner=runner).table())
+        print(modules[args.figure].run(scale, runner=runner, **kwargs).table())
     return 0
 
 
@@ -231,10 +248,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser = sub.add_parser("experiments", help="regenerate tables/figures")
     exp_parser.add_argument(
         "figure",
-        help="table41, fig41..fig47, fig_failover, fig_shootout, or 'all'",
+        help="table41, fig41..fig47, fig_failover, fig_shootout, "
+             "fig_regimes, or 'all'",
     )
     exp_parser.add_argument(
         "--scale", choices=["quick", "smoke", "full"], default="quick"
+    )
+    exp_parser.add_argument(
+        "--protocol", choices=["2pl", "mvcc", "dgcc"], default=None,
+        help="concurrency-control protocol for figure drivers that "
+             "accept one (fig41, fig45, fig47, fig_failover; "
+             "fig_shootout/fig_regimes restrict their protocol grid)",
     )
     exp_parser.add_argument("--outdir", default="results")
     _add_parallel_arguments(exp_parser)

@@ -161,20 +161,23 @@ class ExperimentResult:
                     rows.append((series.label, breakdown))
         if not rows:
             return ""
+        columns = phases.phase_order(
+            p for _label, breakdown in rows for p in breakdown
+        )
         width = max(12, max(len(label) for label, _b in rows) + 2)
-        phase_width = max(len(p) for p in phases.PHASES) + 2
+        phase_width = max(len(p) for p in columns) + 2
         title = (
             f"{self.name}: response-time breakdown at N={chosen} "
             "[ms per committed txn]"
         )
         header = "series".ljust(width) + "".join(
-            p.rjust(phase_width) for p in phases.PHASES
+            p.rjust(phase_width) for p in columns
         ) + "total".rjust(phase_width)
         lines = [title, "=" * len(header), header, "-" * len(header)]
         for label, breakdown in rows:
             cells = "".join(
                 f"{breakdown.get(p, 0.0) * 1e3:>{phase_width}.2f}"
-                for p in phases.PHASES
+                for p in columns
             )
             total = sum(breakdown.values()) * 1e3
             lines.append(label.ljust(width) + cells + f"{total:>{phase_width}.2f}")

@@ -31,17 +31,25 @@ def base_config() -> SystemConfig:
     )
 
 
-def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
+def run(
+    scale: Scale,
+    runner: Optional[SweepRunner] = None,
+    protocol: str = "2pl",
+) -> ExperimentResult:
     specs = []
     for routing in ("affinity", "random"):
         for update in ("noforce", "force"):
             config = base_config().replace(
                 routing=routing,
                 update_strategy=update,
+                protocol=protocol,
                 warmup_time=scale.warmup_time,
                 measure_time=scale.measure_time,
             )
-            specs.append((f"{routing}/{update.upper()}", config))
+            label = f"{routing}/{update.upper()}"
+            if protocol != "2pl":
+                label += f"/{protocol}"
+            specs.append((label, config))
     series = sweep_all(specs, scale.node_counts, runner, label="fig41")
     return ExperimentResult(
         "Fig 4.1",

@@ -23,7 +23,8 @@ __all__ = ["run"]
 
 
 def run(scale: Scale, buffer_sizes=(200, 1000),
-        runner: Optional[SweepRunner] = None) -> ExperimentResult:
+        runner: Optional[SweepRunner] = None,
+        protocol: str = "2pl") -> ExperimentResult:
     specs = []
     for buffer_pages in buffer_sizes:
         for coupling in ("gem", "pcl"):
@@ -33,6 +34,7 @@ def run(scale: Scale, buffer_sizes=(200, 1000),
                         coupling=coupling,
                         routing=routing,
                         update_strategy=update,
+                        protocol=protocol,
                         buffer_pages_per_node=buffer_pages,
                         warmup_time=scale.warmup_time,
                         measure_time=scale.measure_time,
@@ -41,6 +43,8 @@ def run(scale: Scale, buffer_sizes=(200, 1000),
                     label = (
                         f"{coupling}/{routing}/{update.upper()}/buf{buffer_pages}"
                     )
+                    if protocol != "2pl":
+                        label += f"/{protocol}"
                     specs.append((label, config))
     series = sweep_all(specs, scale.node_counts, runner, label="fig45")
     return ExperimentResult(

@@ -25,11 +25,12 @@ from repro.system.parallel import SweepRunner
 __all__ = ["run"]
 
 
-def trace_config(coupling, routing, scale) -> SystemConfig:
+def trace_config(coupling, routing, scale, protocol="2pl") -> SystemConfig:
     return SystemConfig(
         coupling=coupling,
         routing=routing,
         update_strategy="noforce",
+        protocol=protocol,
         workload="trace",
         arrival_rate_per_node=50.0,
         buffer_pages_per_node=1000,
@@ -41,15 +42,22 @@ def trace_config(coupling, routing, scale) -> SystemConfig:
     )
 
 
-def run(scale: Scale, runner: Optional[SweepRunner] = None) -> ExperimentResult:
+def run(
+    scale: Scale,
+    runner: Optional[SweepRunner] = None,
+    protocol: str = "2pl",
+) -> ExperimentResult:
     node_counts = [n for n in scale.node_counts if n <= 8]
     if not node_counts:
         node_counts = [1, 2]
     specs = []
     for coupling in ("gem", "pcl"):
         for routing in ("affinity", "random"):
-            config = trace_config(coupling, routing, scale)
-            specs.append((f"{coupling}/{routing}", config))
+            config = trace_config(coupling, routing, scale, protocol=protocol)
+            label = f"{coupling}/{routing}"
+            if protocol != "2pl":
+                label += f"/{protocol}"
+            specs.append((label, config))
     series = sweep_all(specs, node_counts, runner, label="fig47")
     return ExperimentResult(
         "Fig 4.7",

@@ -15,18 +15,23 @@ regime we report
   is back within 5 % of the pre-crash level), and
 * the transactions killed by the crash.
 
-Expected shape: both regimes dip when the node dies and recover to the
+Expected shape: all regimes dip when the node dies and recover to the
 pre-crash throughput (the surviving nodes absorb the redirected
 arrivals), but the close coupling reintegrates faster -- its failover
 is dominated by REDO alone, and reintegration needs only the restart
 CPU, while PCL pays the GLA reassignment, the lock-state exchange and
-the failback transfer as explicit message/CPU work.
+the failback transfer as explicit message/CPU work.  The disaggregated
+regime (RDMA) sits between the two: pool-resident pages and lock words
+survive the crash (no lock-table reconstruction, less REDO), but
+one-sided locks of the dead node stay un-revocable until its lease
+expires, and reintegration pays an RDMA re-registration on top of the
+restart CPU.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.experiments.common import Scale
 from repro.system.cluster import Cluster
@@ -34,7 +39,10 @@ from repro.system.config import SystemConfig
 from repro.system.monitor import TimeSeriesMonitor
 from repro.system.results import RunResult
 
-__all__ = ["run", "base_config", "FailoverPoint", "FailoverResult"]
+__all__ = ["run", "base_config", "FailoverPoint", "FailoverResult", "COUPLINGS"]
+
+#: Coupling regimes compared by default.
+COUPLINGS: Sequence[str] = ("gem", "pcl", "rdma")
 
 #: Monitor sampling window (simulated seconds).
 WINDOW = 0.25
@@ -165,12 +173,20 @@ def _run_point(label: str, config: SystemConfig) -> FailoverPoint:
     return FailoverPoint(label, result, pre_crash, dip, recovery_width)
 
 
-def run(scale: Scale, runner: Optional[object] = None) -> FailoverResult:
+def run(
+    scale: Scale,
+    runner: Optional[object] = None,
+    couplings: Sequence[str] = COUPLINGS,
+    protocol: str = "2pl",
+) -> FailoverResult:
     """``runner`` is accepted for interface parity but unused: the
     throughput time series requires an in-process monitor."""
     points = [
-        _run_point(coupling.upper(), base_config(scale).replace(coupling=coupling))
-        for coupling in ("gem", "pcl")
+        _run_point(
+            coupling.upper(),
+            base_config(scale).replace(coupling=coupling, protocol=protocol),
+        )
+        for coupling in couplings
     ]
     return FailoverResult(
         "Failover",

@@ -31,6 +31,7 @@ from repro.experiments import (
     fig46,
     fig47,
     fig_failover,
+    fig_regimes,
     fig_shootout,
     table41,
 )
@@ -50,6 +51,7 @@ FIGURES = [
     ("fig47", fig47),
     ("fig_failover", fig_failover),
     ("fig_shootout", fig_shootout),
+    ("fig_regimes", fig_regimes),
 ]
 
 

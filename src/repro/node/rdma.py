@@ -1,0 +1,498 @@
+"""Memory disaggregation: concurrency/coherency control over RDMA.
+
+The third coupling regime detaches memory from compute (Wang et al.,
+"The Case for Distributed Shared-Memory Databases with RDMA-Enabled
+Memory Disaggregation"): lock words, the page directory and the
+NOFORCE page copies live in a **passive remote memory pool**, reached
+by one-sided verbs over the fabric modelled in
+:mod:`repro.devices.rdma`.  Structurally this reuses the GEM global
+lock table machinery -- the same :class:`~repro.node.lock_table.
+LockTable` state machine, sequence numbers and NOFORCE ownership --
+with the cost model swapped:
+
+* a lock acquisition is **one remote Compare&Swap** on the lock word
+  co-located with the page (GEM: two entry accesses against the GLT
+  server);
+* a page fetch is a **one-sided pool read** (GEM: a message exchange
+  with the owning node's buffer);
+* commit installs the modified pages into the pool with one-sided
+  page writes *before* releasing any lock, so a later grantee always
+  finds the new version resident.
+
+Compute-side buffers act as caches over the pool with **eager
+invalidation**: installing a version drops every other node's stale
+cached copy at the install instant, so a reader can never observe a
+stale frame after its invalidation (the cross-regime conformance
+suite checks exactly this).
+
+Failure semantics differ from both couplings the paper studies.  The
+pool survives a compute-node crash, so -- like GEM -- no lock state
+is lost; but there is no server that could revoke the dead node's
+lock words, so recovery must first sit out the node's **lease**
+(``config.rdma_lock_lease_seconds``).  Pages whose current committed
+version is pool-resident are *not* lost with the node's buffer and
+need no REDO, which makes the REDO phase structurally cheaper than
+under either GEM or PCL.  A restarted node pays a memory-region
+re-registration delay (``config.rdma_reregistration_seconds``) before
+it can issue verbs again -- reintegration sits between GEM's (nothing
+to rebuild) and PCL's (GLA failback).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Generator,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from repro.cc.base import CCProtocol, LockGrant, PageSource
+from repro.db.pages import PageId
+from repro.errors import TransactionAborted
+from repro.obs import phases
+from repro.node.lock_table import LockMode, LockTable
+from repro.sim.engine import Event
+from repro.sim.stats import Tally
+from repro.workload.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.manager import CrashRecord, FaultManager
+    from repro.system.cluster import Cluster
+
+__all__ = ["RdmaAccessHelper", "RdmaLockingProtocol"]
+
+
+class RdmaAccessHelper:
+    """Shared pool-access machinery for every protocol under RDMA.
+
+    Owns the **pool residency map** (page -> committed version of the
+    copy resident in the remote pool) and wraps the fabric's verbs
+    with the caller-side CPU post/poll cost and the ``rdma`` phase
+    span.  :class:`RdmaLockingProtocol` uses it directly; the MVCC and
+    DGCC protocols instantiate one when the cluster couples via RDMA
+    and route their directory traffic through it.
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        fabric = cluster.rdma
+        if fabric is None:
+            raise ValueError("RdmaAccessHelper requires an RDMA-coupled cluster")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.fabric = fabric
+        self.recorder = cluster.recorder
+        self._op_instr = cluster.config.instructions_per_rdma_op
+        #: Pool-resident committed page copies: page -> version.  Under
+        #: NOFORCE this is the pool's mirror of GEM's page ownership --
+        #: installed at commit, dropped once the version reached disk.
+        self.pool: Dict[PageId, int] = {}
+
+    # -- verb wrappers ---------------------------------------------------
+
+    def _verb(
+        self,
+        node_id: int,
+        ops: int,
+        service: Iterator[Event],
+        txn_id: Optional[int],
+    ) -> Generator[Event, Any, None]:
+        """``ops`` one-sided verbs, CPU held for post + poll throughout.
+
+        ``txn_id`` attributes the time to that transaction's ``rdma``
+        phase (acquire path); release/recovery-path verbs pass None and
+        stay inside the covering COMMIT/BACKOFF span.
+        """
+        cpu = self.cluster.nodes[node_id].cpu
+        with self.recorder.span(txn_id, phases.RDMA):
+            yield from cpu.grab()
+            try:
+                yield cpu.busy_work(ops * self._op_instr)
+                yield from service
+            finally:
+                cpu.release()
+
+    def cas(
+        self, node_id: int, count: int = 1, txn_id: Optional[int] = None
+    ) -> Generator[Event, Any, None]:
+        """``count`` remote CAS round trips on lock/directory words."""
+        if count:
+            yield from self._verb(node_id, count, self.fabric.cas(count), txn_id)
+
+    def read(
+        self, node_id: int, count: int = 1, txn_id: Optional[int] = None
+    ) -> Generator[Event, Any, None]:
+        """``count`` one-sided small reads (word re-read after a wait)."""
+        if count:
+            yield from self._verb(
+                node_id, count, self.fabric.read_entry(count), txn_id
+            )
+
+    # -- pool residency ----------------------------------------------------
+
+    def current(self, page: PageId, seqno: int) -> bool:
+        """True if the pool holds ``page`` at (or beyond) ``seqno``."""
+        version = self.pool.get(page)
+        return version is not None and version >= seqno
+
+    def install(
+        self, node_id: int, updates: Sequence[Tuple[PageId, int]]
+    ) -> Generator[Event, Any, None]:
+        """Write committed pages into the pool (one-sided page writes).
+
+        Records residency and **eagerly invalidates** every other
+        node's now-stale cached copy -- zero simulated time, at the
+        install instant, in node order (deterministic).  The cache
+        coherence rule of the compute-side caches: after this returns,
+        no surviving buffer holds a frame older than ``version``
+        unpinned.
+        """
+        if not updates:
+            return
+        yield from self._verb(
+            node_id, len(updates), self.fabric.write_pages(len(updates)), None
+        )
+        for page, version in updates:
+            if version > self.pool.get(page, 0):
+                self.pool[page] = version
+            for node in self.cluster.nodes:
+                if node.node_id != node_id:
+                    node.buffer.invalidate_stale(page, version)
+
+    def fetch(
+        self, txn: Transaction, page: PageId, seqno: int
+    ) -> Generator[Event, Any, Optional[int]]:
+        """One-sided page read from the pool.
+
+        Returns the resident version (>= the promised ``seqno``) or
+        None when residency lapsed -- the copy reached disk, so the
+        permanent database is guaranteed current again and the caller
+        falls back to a storage read.
+        """
+        yield from self._verb(txn.node, 1, self.fabric.read_page(), txn.txn_id)
+        version = self.pool.get(page)
+        if version is None or version < seqno:
+            return None
+        return version
+
+    def written_back(self, page: PageId, version: int) -> None:
+        """Drop pool residency once ``version`` reached disk (the pool
+        copy and the permanent copy are now identical)."""
+        if self.pool.get(page) == version:
+            del self.pool[page]
+
+    # -- failure handling --------------------------------------------------
+
+    def lease_wait(self, record: "CrashRecord") -> Generator[Event, Any, None]:
+        """Sit out the crashed node's lease on its pool-resident words.
+
+        One-sided locking has no server that could revoke a dead
+        holder's lock words or reservations; they become reclaimable
+        only once the node's lease expired.  Recovery calls this before
+        touching any word the dead node may still own.
+        """
+        expiry = record.crash_time + self.config.rdma_lock_lease_seconds
+        if self.sim.now < expiry:
+            yield self.sim.timeout(expiry - self.sim.now)
+
+    def trim_lost(self, record: "CrashRecord") -> None:
+        """Remove pool-resident pages from the crash's lost set.
+
+        Runs inside :meth:`CCProtocol.crash_node`, before the fault
+        manager fences ``record.lost`` behind REDO: a page whose
+        current committed version sits in the pool did *not* die with
+        the compute node's buffer and needs no REDO -- the structural
+        recovery advantage of disaggregated memory.
+        """
+        resident = [
+            page
+            for page, committed in record.lost.items()
+            if self.pool.get(page, 0) >= committed
+        ]
+        for page in resident:
+            del record.lost[page]
+
+    def reintegrate(self, record: "CrashRecord") -> Generator[Event, Any, None]:
+        """Re-admit a restarted compute node to the fabric.
+
+        Memory-region/queue-pair re-registration, then two verification
+        reads against the pool.  No lock state is rebuilt (it never
+        left the pool), but unlike GEM the fabric endpoint itself must
+        be re-established -- reintegration lands between the two
+        paper regimes.
+        """
+        yield self.sim.timeout(self.config.rdma_reregistration_seconds)
+        yield from self.read(record.node, 2)
+
+
+class RdmaLockingProtocol(CCProtocol):
+    """2PL with lock words co-located with the data in the pool.
+
+    The GEM locking protocol with the cost model swapped: every GLT
+    entry-access pair becomes one remote CAS, grant notifications are
+    word re-reads, and NOFORCE page exchange goes through the pool
+    instead of owner-to-requester messages.  Lock state survives
+    compute-node crashes (it lives in the pool), but reclaiming a dead
+    node's words must wait out its lease.
+    """
+
+    name = "rdma"
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.detector = cluster.detector
+        self.recorder = cluster.recorder
+        self.rdma = RdmaAccessHelper(cluster)
+        #: Pool lock table: the lock words' shared state machine.  The
+        #: table object is bookkeeping only -- every access to it is
+        #: charged as fabric verbs by the callers.
+        self.plt = LockTable("plt")
+        self._noforce = self.config.noforce
+        self.lock_wait_time = Tally("rdma.lock_wait")
+        self.page_request_delay = Tally("rdma.page_request_delay")
+        self.page_requests = 0
+        self.page_requests_failed = 0
+        self.local_lock_requests = 0
+
+    # -- lock acquisition --------------------------------------------------
+
+    def acquire(
+        self,
+        txn: Transaction,
+        page: PageId,
+        write: bool,
+        cached_version: Optional[int],
+    ) -> Generator[Event, Any, LockGrant]:
+        node_id = txn.node
+        txn_id = txn.txn_id
+        mode = LockMode.EXCLUSIVE if write else LockMode.SHARED
+        # One remote CAS claims the lock word -- or, on conflict,
+        # registers this transaction in the word's wait list.
+        yield from self.rdma.cas(node_id, 1, txn_id=txn_id)
+        # Created lazily: immediate grants (the common case) never
+        # invoke on_grant, so the wait event would be garbage.
+        wait_event: Optional[Event] = None
+
+        def on_grant() -> None:
+            self.detector.clear(txn_id)
+            assert wait_event is not None  # created before any queueing
+            wait_event.succeed()
+
+        granted = self.plt.request(txn_id, page, mode, on_grant)
+        if not granted:
+            wait_event = self.sim.event()
+            blocked_at = self.sim.now
+
+            def abort_victim() -> None:
+                self.plt.cancel(txn_id, page)
+                wait_event.fail(TransactionAborted(txn_id))
+
+            self.detector.register_block(txn_id, self.plt, abort_victim)
+            # The pool lock words are the global lock authority: waits
+            # here are global lock waits in the breakdown.
+            with self.recorder.span(txn_id, phases.LOCK_GLOBAL):
+                yield wait_event  # raises TransactionAborted if chosen victim
+            self.lock_wait_time.record(self.sim.now - blocked_at)
+            # Re-read the word after wake-up to observe the grant.
+            yield from self.rdma.read(node_id, 1, txn_id=txn_id)
+        txn.held_locks[page] = write or txn.held_locks.get(page, False)
+        txn.local_lock_requests += 1
+        self.local_lock_requests += 1
+        entry = self.plt.entry(page)
+        if self._noforce and self.rdma.current(page, entry.seqno):
+            # The current committed copy is pool-resident: a one-sided
+            # read serves it no matter which node installed it -- and
+            # no matter whether that node is still alive (the pool
+            # survives compute crashes; no liveness check, unlike GEM).
+            return LockGrant(
+                entry.seqno,
+                source=PageSource.OWNER,
+                owner_node=entry.owner,
+                local=True,
+            )
+        return LockGrant(entry.seqno, source=PageSource.STORAGE, local=True)
+
+    # -- NOFORCE page transfers --------------------------------------------
+
+    def request_page_from_owner(
+        self, txn: Transaction, page: PageId, grant: LockGrant
+    ) -> Generator[Event, Any, Optional[int]]:
+        """One-sided pool read (``grant.owner_node`` is the installer
+        hint, not a liveness requirement -- no owner participates)."""
+        self.page_requests += 1
+        started = self.sim.now
+        version = yield from self.rdma.fetch(txn, page, grant.seqno)
+        if version is None:
+            self.page_requests_failed += 1
+        else:
+            self.page_request_delay.record(self.sim.now - started)
+        return version
+
+    # -- release -----------------------------------------------------------
+
+    def commit_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        node_id = txn.node
+        txn_id = txn.txn_id
+        # Install the committed pages in the pool *before* releasing
+        # any lock: a grantee woken by the release must find the new
+        # version resident.
+        if self._noforce and txn.modified:
+            yield from self.rdma.install(node_id, sorted(txn.modified.items()))
+        # No defensive copy: only the owning transaction's process
+        # mutates held_locks, and it is suspended in this generator.
+        for page in txn.held_locks:
+            # One CAS releases the word; for modified pages the same
+            # word update publishes the new sequence number and the
+            # installer hint (word and directory entry are one).
+            yield from self.rdma.cas(node_id, 1)
+            entry = self.plt.entry(page)
+            new_version = txn.modified.get(page)
+            if new_version is not None:
+                entry.seqno = new_version
+                entry.owner = node_id if self._noforce else None
+            granted = self.plt.release(txn_id, page)
+            if granted:
+                # Each woken waiter re-reads the word it spun on.
+                yield from self.rdma.read(node_id, len(granted))
+        txn.held_locks.clear()
+
+    def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:
+        # Idempotent and interruption-safe, exactly like the GEM
+        # protocol: pages pop as they release, already-released words
+        # are skipped instead of double-released.
+        node_id = txn.node
+        txn_id = txn.txn_id
+        held = txn.held_locks
+        while held:
+            page = next(iter(held))  # insertion order
+            if self.plt.holds(txn_id, page) is None:
+                held.pop(page, None)
+                continue
+            yield from self.rdma.cas(node_id, 1)
+            # Re-check after yielding: a crash-path abort may have
+            # raced this release while the verb was queued.
+            if self.plt.holds(txn_id, page) is not None:
+                granted = self.plt.release(txn_id, page)
+            else:
+                granted = []
+            held.pop(page, None)
+            if granted:
+                yield from self.rdma.read(node_id, len(granted))
+
+    # -- write-back hook ---------------------------------------------------
+
+    def page_written_back(
+        self, node_id: int, page: PageId, version: int
+    ) -> Generator[Event, Any, None]:
+        """A committed version reached disk: drop the pool residency
+        and the installer hint (storage is current again)."""
+        if self.config.force:
+            return
+        entry = self.plt.peek(page)
+        if entry is None:
+            return
+        yield from self.rdma.cas(node_id, 1)
+        if entry.owner == node_id and entry.seqno == version:
+            entry.owner = None
+        self.rdma.written_back(page, version)
+
+    # -- fault injection ---------------------------------------------------
+
+    def lock_tables(self) -> Tuple[LockTable, ...]:
+        return (self.plt,)
+
+    def crash_node(self, faults: "FaultManager", record: "CrashRecord") -> None:
+        """The pool survives: every page whose committed version is
+        pool-resident leaves the lost set before the fault manager
+        fences it -- those pages need no REDO, only the (typically
+        few) versions committed to the ledger but not yet installed
+        in the pool do.  Lock words are untouched here; they stay set
+        until the dead node's lease expires."""
+        self.rdma.trim_lost(record)
+
+    def recover(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
+        """Failover: wait out the lease, then reclaim the dead words.
+
+        One-sided locking has no server that could revoke a crashed
+        holder's words, so the coordinator must first sit out the
+        node's lease.  Reclamation itself mirrors GEM -- scan for the
+        dead transactions' words, reconcile sequence numbers with the
+        ledger, release -- but each reclaim is one CAS, and REDO only
+        covers the (pool-trimmed) lost set.
+        """
+        yield from self.rdma.lease_wait(record)
+        coord = faults.coordinator()
+        coord_node = self.cluster.nodes[coord]
+        ledger = self.cluster.ledger
+        for txn in record.killed:
+            # The pool is authoritative: a word set just before the
+            # crash may never have reached txn.held_locks, so scan the
+            # table rather than trust the dead bookkeeping.
+            pages = set(txn.held_locks)
+            pages.update(self.plt.held_pages(txn.txn_id))
+            for page in sorted(pages):
+                if self.plt.holds(txn.txn_id, page) is None:
+                    continue
+                yield from self.rdma.cas(coord, 1)
+                yield from coord_node.cpu.consume(
+                    faults.config.recovery_instructions_per_lock
+                )
+                entry = self.plt.entry(page)
+                entry.seqno = max(entry.seqno, ledger.committed_version(page))
+                granted = self.plt.release(txn.txn_id, page)
+                if granted:
+                    yield from self.rdma.read(coord, len(granted))
+        # Installer hints naming the dead node are void (its buffer is
+        # gone); pool residency -- which actually serves the grants --
+        # is untouched.  Lost pages keep readers fenced until REDO.
+        for page in sorted(
+            p for p, e in self.plt._entries.items() if e.owner == record.node
+        ):
+            if page in record.lost:
+                continue
+            yield from self.rdma.cas(coord, 1)
+            self.plt._entries[page].owner = None
+        yield from faults.redo_pages(record, coord)
+        for entry in self.plt._entries.values():
+            if entry.owner == record.node:
+                entry.owner = None
+
+    def reintegrate(
+        self, faults: "FaultManager", record: "CrashRecord"
+    ) -> Generator[Event, Any, None]:
+        """Fabric re-registration before the node can issue verbs."""
+        yield from self.rdma.reintegrate(record)
+
+    # -- statistics --------------------------------------------------------
+
+    def lock_stats(self) -> Dict[str, float]:
+        total = self.local_lock_requests
+        return {
+            # One-sided ops are message-free: every request is local.
+            "local_share": 1.0,
+            "remote_lock_requests": 0.0,
+            "lock_requests": float(total),
+            "mean_lock_wait": self.lock_wait_time.mean,
+            "page_requests": float(self.page_requests),
+            "mean_page_request_delay": self.page_request_delay.mean,
+            "pages_supplied_with_grant": 0.0,
+        }
+
+    def reset_stats(self) -> None:
+        self.lock_wait_time.reset()
+        self.page_request_delay.reset()
+        self.page_requests = 0
+        self.page_requests_failed = 0
+        self.local_lock_requests = 0
+        self.plt.requests = 0
+        self.plt.immediate_grants = 0
+        self.plt.waits = 0

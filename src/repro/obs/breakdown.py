@@ -38,7 +38,7 @@ class ResponseTimeBreakdown:
     def table(self) -> str:
         """Two-column phase/ms table, phases in canonical order."""
         lines = [f"{'phase':<14} {'ms':>9} {'share':>7}"]
-        for phase in phases.PHASES:
+        for phase in phases.phase_order(self.components):
             seconds = self.components.get(phase, 0.0)
             lines.append(
                 f"{phase:<14} {seconds * 1e3:>9.3f} {self.share(phase):>6.1%}"
@@ -52,7 +52,7 @@ def format_breakdown(components: Optional[Mapping[str, float]]) -> str:
     if not components:
         return "-"
     parts = []
-    for phase in phases.PHASES:
+    for phase in phases.phase_order(components):
         seconds = components.get(phase, 0.0)
         if seconds > 0.0:
             parts.append(f"{phase}={seconds * 1e3:.2f}ms")

@@ -9,6 +9,8 @@ transaction partition its response time without double counting.
 
 from __future__ import annotations
 
+from typing import Iterable, Tuple
+
 __all__ = [
     "BACKOFF",
     "COMM",
@@ -22,6 +24,8 @@ __all__ = [
     "OTHER",
     "PAGE_TRANSFER",
     "PHASES",
+    "RDMA",
+    "phase_order",
 ]
 
 #: Waiting in the node's input queue for a free MPL slot.
@@ -37,6 +41,12 @@ LOCK_GLOBAL = "lock_global"
 IO = "io"
 #: Synchronous GEM entry accesses of the GEM locking protocol.
 GEM = "gem"
+#: Synchronous one-sided RDMA verbs (remote CAS, pool reads/writes) of
+#: the disaggregated-memory regime.  Deliberately *not* part of
+#: :data:`PHASES`: the canonical tuple is frozen by golden snapshots,
+#: so regime-specific phases join the reporting order dynamically via
+#: :func:`phase_order` only in runs that actually recorded them.
+RDMA = "rdma"
 #: Message exchanges (send overhead, transmission, remote processing).
 COMM = "comm"
 #: Waiting for a page transfer from the owning node's buffer.
@@ -70,3 +80,21 @@ PHASES = (
     BACKOFF,
     OTHER,
 )
+
+_CANONICAL = frozenset(PHASES)
+
+
+def phase_order(present: Iterable[str]) -> Tuple[str, ...]:
+    """Reporting order for a run's observed phases.
+
+    Returns :data:`PHASES` itself when ``present`` holds no phases
+    beyond the canonical tuple (so GEM/PCL output is byte-identical to
+    the pre-rdma format), otherwise the canonical order with the extra
+    phases spliced in, sorted, right after :data:`GEM` -- where the
+    regime-specific coupling cost belongs in the tables.
+    """
+    extras = sorted(set(present) - _CANONICAL)
+    if not extras:
+        return PHASES
+    cut = PHASES.index(GEM) + 1
+    return PHASES[:cut] + tuple(extras) + PHASES[cut:]

@@ -248,10 +248,16 @@ class PhaseRecorder:
         self.phase_seconds = {p: 0.0 for p in phases.PHASES}
 
     def breakdown(self) -> Dict[str, float]:
-        """Mean seconds per phase per finished transaction."""
+        """Mean seconds per phase per finished transaction.
+
+        Keys are the canonical phases plus any regime-specific phases
+        actually observed (e.g. ``rdma``): a run that recorded time in
+        such a phase must report it, or the components would no longer
+        sum to the mean response time.  Runs without extra phases keep
+        the exact pre-existing key set.
+        """
+        order = phases.phase_order(self.phase_seconds)
         if self.txn_count == 0:
-            return {p: 0.0 for p in phases.PHASES}
+            return {p: 0.0 for p in order}
         count = self.txn_count
-        return {
-            p: self.phase_seconds.get(p, 0.0) / count for p in phases.PHASES
-        }
+        return {p: self.phase_seconds.get(p, 0.0) / count for p in order}

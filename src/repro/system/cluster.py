@@ -23,9 +23,11 @@ from repro.devices.disk import DiskArray
 from repro.devices.disk_cache import DiskCache
 from repro.devices.gem import GemDevice
 from repro.devices.network import Network
+from repro.devices.rdma import RdmaFabric
 from repro.devices.storage import StorageDirectory
 from repro.faults.manager import FaultManager
 from repro.node.node import Node
+from repro.node.rdma import RdmaLockingProtocol
 from repro.node.transaction_manager import TransactionManager
 from repro.obs.recorder import NULL_RECORDER, PhaseRecorder
 from repro.routing.affinity import AffinityRouter
@@ -69,6 +71,19 @@ class Cluster:
             page_access_time=config.gem_page_access_time,
             entry_access_time=config.gem_entry_access_time,
         )
+        #: RDMA fabric into the disaggregated memory pool, constructed
+        #: only under ``coupling="rdma"`` (GEM/PCL runs stay
+        #: bit-identical to builds without the third regime).
+        self.rdma: Optional[RdmaFabric] = None
+        if config.coupling is Coupling.RDMA:
+            self.rdma = RdmaFabric(
+                self.sim,
+                channels=config.rdma_channels,
+                cas_time=config.rdma_cas_time,
+                read_time=config.rdma_read_time,
+                page_read_time=config.rdma_page_read_time,
+                page_write_time=config.rdma_page_write_time,
+            )
         # -- workload-specific structure --------------------------------
         self.layout: Optional[DebitCreditLayout] = None
         self.trace_world = None  # set for trace workloads
@@ -115,6 +130,8 @@ class Cluster:
             self.protocol = DgccProtocol(self, self._gla_map)
         elif config.coupling is Coupling.GEM:
             self.protocol = GemLockingProtocol(self)
+        elif config.coupling is Coupling.RDMA:
+            self.protocol = RdmaLockingProtocol(self)
         else:
             self.protocol = PrimaryCopyProtocol(self, self._gla_map)
         for node in self.nodes:
@@ -255,6 +272,8 @@ class Cluster:
         for array in self.log_disks:
             array.reset_stats()
         self.gem.reset_stats()
+        if self.rdma is not None:
+            self.rdma.reset_stats()
         self.network.reset_stats()
         self.protocol.reset_stats()
         self.detector.deadlocks_detected = 0
@@ -278,6 +297,10 @@ class Cluster:
             for node in self.nodes
         ]
         channels.append(("gem", self.gem.busy_time, self.config.gem_servers))
+        if self.rdma is not None:
+            channels.append(
+                ("rdma", self.rdma.busy_time, self.config.rdma_channels)
+            )
         channels.append(("network", self.network.busy_time, 1))
         for name in sorted(self.disk_arrays):
             array = self.disk_arrays[name]

@@ -13,6 +13,16 @@ import enum
 from typing import Any, Optional
 
 from repro.db.schema import StorageKind
+from repro.devices.rdma import (
+    DEFAULT_INSTRUCTIONS_PER_RDMA_OP,
+    DEFAULT_RDMA_CAS_TIME,
+    DEFAULT_RDMA_CHANNELS,
+    DEFAULT_RDMA_LOCK_LEASE_SECONDS,
+    DEFAULT_RDMA_PAGE_READ_TIME,
+    DEFAULT_RDMA_PAGE_WRITE_TIME,
+    DEFAULT_RDMA_READ_TIME,
+    DEFAULT_RDMA_REREGISTRATION_SECONDS,
+)
 from repro.faults.config import FaultConfig
 
 __all__ = [
@@ -32,6 +42,9 @@ class Coupling(str, enum.Enum):
     GEM = "gem"
     #: Loose coupling: primary copy locking over messages.
     PCL = "pcl"
+    #: Memory disaggregation: lock state and NOFORCE page copies live
+    #: in a passive remote memory pool reached by one-sided RDMA verbs.
+    RDMA = "rdma"
 
 
 class RoutingStrategy(str, enum.Enum):
@@ -224,6 +237,27 @@ class SystemConfig:
     #: manipulation in main memory around the Compare&Swap).
     instructions_per_gem_entry_op: float = 100.0
 
+    # -- RDMA memory pool (coupling="rdma") ---------------------------------
+    #: Parallel one-sided channels into the pool (QP/NIC parallelism).
+    rdma_channels: int = DEFAULT_RDMA_CHANNELS
+    #: One-sided Compare&Swap round trip (lock word in the pool).
+    rdma_cas_time: float = DEFAULT_RDMA_CAS_TIME
+    #: One-sided small read (lock word / directory entry re-read).
+    rdma_read_time: float = DEFAULT_RDMA_READ_TIME
+    #: One-sided page read from the pool.
+    rdma_page_read_time: float = DEFAULT_RDMA_PAGE_READ_TIME
+    #: One-sided page write (commit install) into the pool.
+    rdma_page_write_time: float = DEFAULT_RDMA_PAGE_WRITE_TIME
+    #: CPU instructions to post a verb and poll its completion.
+    instructions_per_rdma_op: float = DEFAULT_INSTRUCTIONS_PER_RDMA_OP
+    #: Lease on pool-resident lock words: a crashed node's locks are
+    #: reclaimable only after its lease expired (no central manager to
+    #: revoke them synchronously).
+    rdma_lock_lease_seconds: float = DEFAULT_RDMA_LOCK_LEASE_SECONDS
+    #: Memory-region/queue-pair re-registration time a restarted node
+    #: pays before it can issue one-sided verbs again.
+    rdma_reregistration_seconds: float = DEFAULT_RDMA_REREGISTRATION_SECONDS
+
     # -- concurrency control -----------------------------------------------
     #: Concurrency-control protocol: "2pl" (the paper's locking scheme,
     #: GEM GLT or primary-copy depending on ``coupling``), "mvcc"
@@ -287,6 +321,10 @@ class SystemConfig:
             raise ValueError("workload='synthetic' requires a synthetic spec")
         if self.protocol not in ("2pl", "mvcc", "dgcc"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.rdma_channels < 1:
+            raise ValueError("rdma_channels must be >= 1")
+        if self.rdma_lock_lease_seconds < 0:
+            raise ValueError("rdma_lock_lease_seconds must be non-negative")
         if self.dgcc_epoch_seconds <= 0:
             raise ValueError("dgcc_epoch_seconds must be positive")
         if self.mpl_per_node < 1:

@@ -1,0 +1,134 @@
+"""Unit tests for the RDMA fabric model."""
+
+import pytest
+
+from repro.devices.rdma import RdmaFabric
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestVerbTimes:
+    def test_cas_time(self, sim):
+        fabric = RdmaFabric(sim, cas_time=3e-6)
+        done = []
+
+        def proc():
+            yield from fabric.cas()
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(3e-6)]
+        assert fabric.cas_ops == 1
+
+    def test_batched_cas(self, sim):
+        fabric = RdmaFabric(sim, cas_time=3e-6)
+        done = []
+
+        def proc():
+            yield from fabric.cas(4)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(12e-6)]
+        assert fabric.cas_ops == 4
+
+    def test_entry_read_and_page_verbs(self, sim):
+        fabric = RdmaFabric(
+            sim, read_time=2e-6, page_read_time=8e-6, page_write_time=10e-6
+        )
+        done = []
+
+        def proc():
+            yield from fabric.read_entry()
+            yield from fabric.read_page()
+            yield from fabric.write_pages(2)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(2e-6 + 8e-6 + 20e-6)]
+        assert fabric.entry_reads == 1
+        assert fabric.page_reads == 1
+        assert fabric.page_writes == 2
+
+    def test_zero_count_is_noop(self, sim):
+        fabric = RdmaFabric(sim)
+
+        def proc():
+            yield from fabric.cas(0)
+            yield from fabric.read_entry(0)
+            yield from fabric.write_pages(0)
+            yield sim.timeout(0)
+
+        sim.process(proc())
+        sim.run()
+        assert fabric.cas_ops == 0
+        assert fabric.entry_reads == 0
+        assert fabric.page_writes == 0
+
+    def test_negative_count_rejected(self, sim):
+        fabric = RdmaFabric(sim)
+        with pytest.raises(ValueError):
+            list(fabric.cas(-1))
+        with pytest.raises(ValueError):
+            list(fabric.read_entry(-1))
+        with pytest.raises(ValueError):
+            list(fabric.write_pages(-1))
+
+    def test_negative_verb_time_rejected(self, sim):
+        with pytest.raises(ValueError):
+            RdmaFabric(sim, cas_time=-1.0)
+
+    def test_zero_channels_rejected(self, sim):
+        with pytest.raises(ValueError):
+            RdmaFabric(sim, channels=0)
+
+
+class TestQueuing:
+    def test_single_channel_serializes(self, sim):
+        fabric = RdmaFabric(sim, channels=1, page_read_time=8e-6)
+        done = []
+
+        def proc(tag):
+            yield from fabric.read_page()
+            done.append((tag, sim.now))
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        assert done[0] == ("a", pytest.approx(8e-6))
+        assert done[1] == ("b", pytest.approx(16e-6))
+
+    def test_two_channels_overlap(self, sim):
+        fabric = RdmaFabric(sim, channels=2, page_read_time=8e-6)
+        done = []
+
+        def proc():
+            yield from fabric.read_page()
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert done == [pytest.approx(8e-6), pytest.approx(8e-6)]
+
+    def test_utilization_and_reset(self, sim):
+        fabric = RdmaFabric(sim, channels=1, page_read_time=0.1)
+
+        def proc():
+            yield from fabric.read_page()
+
+        sim.process(proc())
+        sim.run()
+        sim.run(until=0.2)
+        assert fabric.utilization() == pytest.approx(0.5)
+        fabric.reset_stats()
+        assert fabric.cas_ops == 0
+        assert fabric.page_reads == 0
+        assert fabric.busy_time() == pytest.approx(0.0)

@@ -1,0 +1,95 @@
+"""Integration tests of the three-regime comparison experiment.
+
+One smoke-sized run of the full grid (GEM/PCL/RDMA x 2PL/MVCC/DGCC
+plus a trace row per regime), then the invariants the new regime
+promises: the decomposition still partitions the mean response time
+exactly, the ``rdma`` phase appears only under the RDMA coupling, and
+the tables are bit-identical at any worker count.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig_regimes
+from repro.experiments.common import Scale
+from repro.obs import phases
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_regimes.run(Scale.smoke())
+
+
+class TestRegimesGrid:
+    def test_all_series_present(self, result):
+        labels = [series.label for series in result.series]
+        assert labels == [
+            "gem/2pl", "gem/mvcc", "gem/dgcc",
+            "pcl/2pl", "pcl/mvcc", "pcl/dgcc",
+            "rdma/2pl", "rdma/mvcc", "rdma/dgcc",
+            "gem/trace", "pcl/trace", "rdma/trace",
+        ]
+        for series in result.series:
+            assert [n for n, _r in series.points] == [1, 2]
+
+    def test_breakdown_sums_to_mean_response_time(self, result):
+        for series in result.series:
+            for _n, run in series.points:
+                assert run.breakdown is not None, series.label
+                assert math.isclose(
+                    math.fsum(run.breakdown.values()),
+                    run.mean_response_time,
+                    rel_tol=1e-9,
+                ), series.label
+
+    def test_rdma_phase_only_under_rdma_coupling(self, result):
+        for series in result.series:
+            for _n, run in series.points:
+                rdma_seconds = run.breakdown.get(phases.RDMA, 0.0)
+                if series.label.startswith("rdma/"):
+                    assert rdma_seconds > 0.0, series.label
+                else:
+                    assert rdma_seconds == 0.0, series.label
+
+    def test_gem_phase_empty_under_rdma(self, result):
+        for series in result.series:
+            if not series.label.startswith("rdma/"):
+                continue
+            for _n, run in series.points:
+                assert run.breakdown.get(phases.GEM, 0.0) == 0.0, series.label
+                assert run.gem_utilization == 0.0
+
+    def test_rdma_tracks_gem_under_affinity(self, result):
+        # The cost models differ but both are CPU-synchronous
+        # microsecond-scale accesses: at this scale RDMA must land in
+        # the same response-time regime as GEM, not PCL-random's.
+        for protocol in ("2pl", "mvcc"):
+            gem = result.series_by_label(f"gem/{protocol}").points[-1][1]
+            rdma = result.series_by_label(f"rdma/{protocol}").points[-1][1]
+            assert rdma.mean_response_time == pytest.approx(
+                gem.mean_response_time, rel=0.25
+            ), protocol
+
+    def test_breakdown_table_renders_every_series(self, result):
+        table = result.breakdown_table()
+        for series in result.series:
+            assert series.label in table
+        assert phases.RDMA in table
+
+
+class TestRegimesDeterminism:
+    def test_tables_identical_across_worker_counts(self):
+        from repro.system.parallel import SweepRunner
+
+        scale = Scale.smoke()
+        with SweepRunner(jobs=1) as serial:
+            a = fig_regimes.run(
+                scale, protocols=("2pl",), include_trace=False, runner=serial
+            )
+        with SweepRunner(jobs=4) as pool:
+            b = fig_regimes.run(
+                scale, protocols=("2pl",), include_trace=False, runner=pool
+            )
+        assert a.table() == b.table()
+        assert a.breakdown_table() == b.breakdown_table()

@@ -31,5 +31,6 @@ class TestRunAll:
     def test_figures_registry_complete(self):
         names = [name for name, _module in FIGURES]
         assert names == (
-            [f"fig4{i}" for i in range(1, 8)] + ["fig_failover", "fig_shootout"]
+            [f"fig4{i}" for i in range(1, 8)]
+            + ["fig_failover", "fig_shootout", "fig_regimes"]
         )

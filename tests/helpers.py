@@ -156,6 +156,20 @@ def quiesced_cluster(**overrides) -> Cluster:
     return Cluster(quiesced_config(**overrides))
 
 
+def make_rdma_cluster(**overrides) -> Cluster:
+    """A quiesced cluster under the disaggregated-memory coupling.
+
+    The standard fixture for RDMA-regime unit tests: 2 nodes,
+    affinity/NOFORCE, coupling ``rdma``, workload generator quiesced so
+    transactions are driven by hand with :func:`drive_cluster`.
+    Override any :class:`SystemConfig` field by keyword (e.g.
+    ``protocol="mvcc"`` or ``update_strategy="force"``).
+    """
+    defaults = dict(coupling="rdma")
+    defaults.update(overrides)
+    return Cluster(quiesced_config(**defaults))
+
+
 def bt_storage_config(
     storage: StorageKind = StorageKind.DISK_GEM_WRITE_BUFFER, **overrides
 ) -> SystemConfig:

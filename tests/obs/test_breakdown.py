@@ -34,3 +34,31 @@ class TestFormatBreakdown:
     def test_skips_zero_phases(self):
         text = format_breakdown({phases.CPU: 0.002, phases.IO: 0.0})
         assert text == "cpu=2.00ms"
+
+    def test_includes_extra_phases(self):
+        text = format_breakdown({phases.CPU: 0.002, phases.RDMA: 0.001})
+        assert text == "cpu=2.00ms rdma=1.00ms"
+
+
+class TestPhaseOrder:
+    def test_no_extras_returns_the_canonical_tuple(self):
+        # Identity matters: callers iterating goldens must see the
+        # exact legacy ordering when no extra phase was observed.
+        assert phases.phase_order(phases.PHASES) is phases.PHASES
+        assert phases.phase_order([phases.CPU, phases.IO]) is phases.PHASES
+
+    def test_extras_splice_after_gem(self):
+        order = phases.phase_order([phases.CPU, phases.RDMA])
+        gem_at = order.index(phases.GEM)
+        assert order[gem_at + 1] == phases.RDMA
+        assert [p for p in order if p != phases.RDMA] == list(phases.PHASES)
+
+    def test_unknown_extras_sorted_deterministically(self):
+        order = phases.phase_order(["zeta", "alpha", phases.CPU])
+        gem_at = order.index(phases.GEM)
+        assert order[gem_at + 1:gem_at + 3] == ("alpha", "zeta")
+
+    def test_rdma_not_in_canonical_phases(self):
+        # The canonical tuple is frozen by the golden snapshots; the
+        # rdma phase appears only when observed.
+        assert phases.RDMA not in phases.PHASES

@@ -46,6 +46,19 @@ POINTS = {
         warmup_time=0.5,
         measure_time=1.5,
     ),
+    # fig_regimes flavour: disaggregated memory (RDMA), affinity,
+    # NOFORCE -- exercises remote CAS locking, pool-backed page
+    # transfer and the ``rdma`` breakdown component.
+    "fig_regimes_rdma_affinity_noforce_n2": lambda: SystemConfig(
+        num_nodes=2,
+        coupling="rdma",
+        routing="affinity",
+        update_strategy="noforce",
+        buffer_pages_per_node=200,
+        collect_breakdown=True,
+        warmup_time=0.5,
+        measure_time=1.5,
+    ),
 }
 
 

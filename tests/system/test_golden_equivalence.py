@@ -22,7 +22,7 @@ from typing import Any, Dict, List
 
 import pytest
 
-from repro.experiments import fig41, fig45, fig_failover
+from repro.experiments import fig41, fig45, fig_failover, fig_regimes
 from repro.experiments.common import ExperimentResult, Scale
 from repro.system.config import SystemConfig
 from repro.system.results import RunResult
@@ -84,13 +84,33 @@ def _run_fig45() -> Dict[str, Any]:
 
 
 def _run_failover() -> Dict[str, Any]:
-    return _failover_snapshot(fig_failover.run(Scale.smoke()))
+    # Pinned to the paper's two regimes: this golden predates the RDMA
+    # coupling and must stay byte-identical across its addition.
+    return _failover_snapshot(
+        fig_failover.run(Scale.smoke(), couplings=("gem", "pcl"))
+    )
+
+
+def _run_failover_rdma() -> Dict[str, Any]:
+    return _failover_snapshot(
+        fig_failover.run(Scale.smoke(), couplings=("rdma",))
+    )
+
+
+def _run_fig_regimes() -> Dict[str, Any]:
+    # Trace rows excluded: the debit-credit grid already covers every
+    # regime x protocol code path at a third of the run time.
+    return _experiment_snapshot(
+        fig_regimes.run(Scale.smoke(), include_trace=False, runner=_SerialRunner())
+    )
 
 
 EXPERIMENTS = {
     "equivalence_fig41": _run_fig41,
     "equivalence_fig45": _run_fig45,
     "equivalence_fig_failover": _run_failover,
+    "equivalence_fig_failover_rdma": _run_failover_rdma,
+    "equivalence_fig_regimes": _run_fig_regimes,
 }
 
 
