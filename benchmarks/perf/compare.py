@@ -1,9 +1,11 @@
-"""Compare a fresh perf snapshot against a committed baseline.
+"""Compare perf snapshots: regression check and trajectory trend.
 
 Usage::
 
     PYTHONPATH=src:. python -m benchmarks.perf.compare \
         /tmp/bench_now.json --baseline BENCH_2026-08-08.json
+
+    PYTHONPATH=src:. python -m benchmarks.perf.compare --trend
 
 Exit status 1 when any common scale regressed by more than the
 tolerance, 0 otherwise.  A missing baseline is not an error: the first
@@ -15,6 +17,18 @@ shared machines routinely reaches that level even with best-of-N
 timing.  A regression this check flags is therefore a real one; small
 regressions must be caught by regenerating the committed snapshot on
 the reference machine instead (see EXPERIMENTS.md).
+
+Snapshots record the engine's ``code_version``.  When an optimization
+changes the simulated event sequence (a *re-anchor*, see
+EXPERIMENTS.md), events/sec is no longer comparable across the bump:
+the comparison refuses to cross code versions unless the newer
+snapshot carries a ``baseline`` block documenting the re-anchor with
+same-machine A/B wall-clock evidence, in which case the per-scale
+events/sec check is skipped in its favour.
+
+``--trend`` renders the whole committed trajectory (every
+``BENCH_*.json``) as one table -- date, code version, baseline commit,
+events/sec per scale -- with re-anchor boundaries marked.
 """
 
 from __future__ import annotations
@@ -28,8 +42,11 @@ from typing import Any, Dict, List, Optional, Sequence
 __all__ = [
     "SnapshotFormatError",
     "compare_snapshots",
+    "crosses_reanchor",
     "find_latest_snapshot",
     "load_snapshot",
+    "trend_rows",
+    "trend_table",
     "validate_snapshot",
 ]
 
@@ -96,6 +113,80 @@ def find_latest_snapshot(directory: Path) -> Optional[Path]:
     return candidates[-1] if candidates else None
 
 
+def crosses_reanchor(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> bool:
+    """True when the two snapshots were taken on different engine anchors.
+
+    ``code_version`` is bumped whenever an optimization changes the
+    simulated event sequence; snapshots predating the field count as
+    their own (unknown) anchor.  Events/sec must not be compared across
+    anchors -- the event totals differ by construction.
+    """
+    return current.get("code_version") != baseline.get("code_version")
+
+
+def trend_rows(snapshots: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One trend row per snapshot, in the given (chronological) order.
+
+    Each row carries the snapshot date, engine ``code_version``, the
+    baseline commit it was anchored against (when recorded), the
+    per-scale events/sec, and ``reanchored`` -- True when the snapshot
+    starts a new code-version anchor, i.e. its events/sec must not be
+    read as a ratio against the previous row.
+    """
+    rows: List[Dict[str, Any]] = []
+    previous_version: Optional[str] = None
+    for index, snap in enumerate(snapshots):
+        baseline = snap.get("baseline") or {}
+        version = snap.get("code_version")
+        rows.append(
+            {
+                "date": snap["date"],
+                "label": snap.get("label", ""),
+                "code_version": version,
+                "baseline_commit": baseline.get("commit"),
+                "events_per_sec": {
+                    name: entry["events_per_sec"]
+                    for name, entry in snap["scales"].items()
+                },
+                "reanchored": index > 0 and version != previous_version,
+            }
+        )
+        previous_version = version
+    return rows
+
+
+def trend_table(snapshots: Sequence[Dict[str, Any]]) -> str:
+    """The committed perf trajectory as a fixed-width text table."""
+    rows = trend_rows(snapshots)
+    scale_names = sorted(
+        {name for row in rows for name in row["events_per_sec"]}, key=int
+    )
+    header = (
+        f"{'date':<12}{'code version':<14}{'base commit':<13}"
+        + "".join(f"{name + ' nodes':>14}" for name in scale_names)
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row["reanchored"]:
+            lines.append(
+                f"-- re-anchor: code version {row['code_version'] or '?'} "
+                "(events/sec not comparable across this line) --"
+            )
+        cells = "".join(
+            f"{row['events_per_sec'][name]:>14,.0f}"
+            if name in row["events_per_sec"]
+            else f"{'-':>14}"
+            for name in scale_names
+        )
+        lines.append(
+            f"{row['date']:<12}{row['code_version'] or '-':<14}"
+            f"{row['baseline_commit'] or '-':<13}{cells}"
+        )
+    return "\n".join(lines)
+
+
 def compare_snapshots(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -132,7 +223,10 @@ def compare_snapshots(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", type=Path, help="fresh snapshot JSON")
+    parser.add_argument(
+        "current", type=Path, nargs="?", default=None,
+        help="fresh snapshot JSON (omit with --trend)",
+    )
     parser.add_argument(
         "--baseline", type=Path, default=None,
         help="baseline snapshot (default: newest BENCH_*.json in --baseline-dir)",
@@ -142,7 +236,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="directory searched for committed snapshots",
     )
     parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument(
+        "--trend", action="store_true",
+        help="print the committed perf trajectory (all BENCH_*.json in "
+             "--baseline-dir, plus the current snapshot if given) as a "
+             "trend table instead of comparing",
+    )
     args = parser.parse_args(argv)
+
+    if args.trend:
+        paths = sorted(args.baseline_dir.glob("BENCH_*.json"))
+        if args.current is not None and args.current.resolve() not in (
+            p.resolve() for p in paths
+        ):
+            paths.append(args.current)
+        if not paths:
+            print("no BENCH_*.json snapshots found", file=sys.stderr)
+            return 0
+        print(trend_table([load_snapshot(path) for path in paths]))
+        return 0
+    if args.current is None:
+        parser.error("a current snapshot is required unless --trend is given")
 
     current = load_snapshot(args.current)
     baseline_path = args.baseline
@@ -158,6 +272,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("no baseline snapshot found; nothing to compare", file=sys.stderr)
         return 0
     baseline = load_snapshot(baseline_path)
+
+    if crosses_reanchor(current, baseline):
+        cur_version = current.get("code_version")
+        base_version = baseline.get("code_version")
+        if current.get("baseline"):
+            print(
+                f"re-anchor: code version {base_version!r} -> {cur_version!r}; "
+                "events/sec is not comparable across the bump.  The current "
+                "snapshot documents the re-anchor in its 'baseline' block "
+                "(same-machine A/B wall clock); skipping the per-scale check.",
+                file=sys.stderr,
+            )
+            return 0
+        print(
+            f"ERROR: snapshots span a re-anchor (code version {base_version!r} "
+            f"vs {cur_version!r}) and the current snapshot has no 'baseline' "
+            "block.  The event sequence changed, so events/sec ratios are "
+            "meaningless here: re-measure with interleaved A/B wall clock on "
+            "one machine and record it in the snapshot's 'baseline' block "
+            "(see EXPERIMENTS.md, 're-anchoring the trajectory').",
+            file=sys.stderr,
+        )
+        return 1
 
     rows = compare_snapshots(current, baseline, tolerance=args.tolerance)
     if not rows:

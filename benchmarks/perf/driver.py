@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from benchmarks.timing import time_best
 from repro.system.config import SystemConfig
+from repro.system.parallel import CODE_VERSION
 from repro.system.runner import run_simulation
 
 __all__ = ["SCALES", "SCHEMA_VERSION", "fig46_workload", "measure_scale", "snapshot"]
@@ -73,10 +74,13 @@ def measure_scale(num_nodes: int, repeats: int = 3) -> Dict[str, Any]:
     warmup_time, measure_time = SCALES[num_nodes]
     config = fig46_workload(num_nodes, warmup_time, measure_time)
     events = 0
+    completed = 0
 
     def run() -> None:
-        nonlocal events
-        events = run_simulation(config).events_processed
+        nonlocal events, completed
+        result = run_simulation(config)
+        events = result.events_processed
+        completed = result.completed
 
     timing = time_best(run, repeats=repeats, warmup=1)
     return {
@@ -85,6 +89,8 @@ def measure_scale(num_nodes: int, repeats: int = 3) -> Dict[str, Any]:
         "measure_time": measure_time,
         "repeats": repeats,
         "events_processed": events,
+        "completed_txns": completed,
+        "events_per_txn": events / completed if completed else 0.0,
         "wall_clock_s": timing.best,
         "events_per_sec": events / timing.best,
         "wall_clock_runs_s": list(timing.runs),
@@ -108,6 +114,7 @@ def snapshot(
         "schema": SCHEMA_VERSION,
         "date": date,
         "label": label,
+        "code_version": CODE_VERSION,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "workload": dict(WORKLOAD),
@@ -122,6 +129,7 @@ def snapshot(
         result["scales"][str(num_nodes)] = entry
         print(
             f"  {num_nodes:4d} nodes: {entry['events_processed']:>9d} events, "
+            f"{entry['events_per_txn']:.1f} events/txn, "
             f"{entry['wall_clock_s']:.3f} s best, "
             f"{entry['events_per_sec']:,.0f} events/s",
             file=sys.stderr,

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI guard: golden fixtures may only change together with CODE_VERSION.
+
+The golden tests pin the engine's exact event trajectories.  A diff
+that touches ``tests/golden/*.json`` is therefore a statement that the
+simulated sequence changed -- which is only legitimate as a deliberate
+re-anchor, and every re-anchor must bump ``CODE_VERSION`` in
+``src/repro/system/parallel.py`` (it keys the cross-process result
+cache and the perf-snapshot comparability check).  This script fails
+when a diff regenerates goldens while leaving CODE_VERSION untouched.
+
+Usage::
+
+    python scripts/check_golden_version.py --base origin/main
+
+The diff is taken from ``--base`` to the working tree, so the check
+works both in CI (where the tree is the PR head) and locally before
+committing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from typing import List, Optional, Sequence
+
+GOLDEN_PREFIX = "tests/golden/"
+VERSION_FILE = "src/repro/system/parallel.py"
+
+_VERSION_RE = re.compile(r"^CODE_VERSION\s*=\s*[\"']([^\"']+)[\"']", re.MULTILINE)
+
+
+def extract_code_version(source: str) -> Optional[str]:
+    """The CODE_VERSION literal in ``source``, or None if absent."""
+    match = _VERSION_RE.search(source)
+    return match.group(1) if match else None
+
+
+def golden_changes(paths: Sequence[str]) -> List[str]:
+    """The golden fixture files among the changed ``paths``."""
+    return [
+        path
+        for path in paths
+        if path.startswith(GOLDEN_PREFIX) and path.endswith(".json")
+    ]
+
+
+def check(
+    changed_paths: Sequence[str],
+    base_version: Optional[str],
+    head_version: Optional[str],
+) -> List[str]:
+    """Error messages for the diff; empty when the diff is acceptable."""
+    goldens = golden_changes(changed_paths)
+    if not goldens:
+        return []
+    if base_version is None or head_version is None:
+        return [
+            f"golden fixtures changed but CODE_VERSION could not be read "
+            f"from {VERSION_FILE} "
+            f"(base: {base_version!r}, head: {head_version!r})"
+        ]
+    if base_version == head_version:
+        listing = ", ".join(sorted(goldens))
+        return [
+            f"golden fixtures changed without a CODE_VERSION bump "
+            f"(still {head_version!r}): {listing}",
+            f"every golden regeneration is a re-anchor of the event "
+            f"trajectories; bump CODE_VERSION in {VERSION_FILE} in the "
+            f"same change (see EXPERIMENTS.md, 're-anchoring the "
+            f"trajectory')",
+        ]
+    return []
+
+
+def _git(*args: str) -> str:
+    return subprocess.run(
+        ["git", *args], check=True, capture_output=True, text=True
+    ).stdout
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--base", default="origin/main",
+        help="ref the working tree is diffed against (default: origin/main)",
+    )
+    args = parser.parse_args(argv)
+
+    merge_base = _git("merge-base", args.base, "HEAD").strip()
+    changed = _git("diff", "--name-only", merge_base).split()
+    try:
+        base_source = _git("show", f"{merge_base}:{VERSION_FILE}")
+    except subprocess.CalledProcessError:
+        base_source = ""
+    try:
+        with open(VERSION_FILE, encoding="utf-8") as handle:
+            head_source = handle.read()
+    except OSError:
+        head_source = ""
+
+    errors = check(
+        changed,
+        extract_code_version(base_source),
+        extract_code_version(head_source),
+    )
+    for error in errors:
+        print(f"check_golden_version: {error}", file=sys.stderr)
+    if not errors:
+        goldens = golden_changes(changed)
+        state = (
+            f"{len(goldens)} golden fixture(s) changed with a CODE_VERSION bump"
+            if goldens
+            else "no golden fixtures changed"
+        )
+        print(f"check_golden_version: OK ({state})", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

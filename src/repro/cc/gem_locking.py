@@ -35,6 +35,7 @@ from repro.errors import TransactionAborted
 from repro.obs import phases
 from repro.node.lock_table import LockMode, LockTable
 from repro.sim.engine import Event
+from repro.sim.resources import held_chain, held_chain_cancel
 from repro.sim.stats import Tally
 from repro.workload.transaction import Transaction
 
@@ -80,6 +81,29 @@ class GemLockingProtocol(CCProtocol):
 
     # -- GEM entry access helper --------------------------------------------
 
+    def _entry_chain(self, node_id: int, count: int) -> Event:
+        """Build the chained entry for ``count`` synchronous GLT accesses.
+
+        The whole CPU-grant / setup-instructions / server-access
+        sequence is one chained entry (held_chain): the caller yields
+        the returned completion event once per compound access instead
+        of once per leg, guarding it with ``held_chain_cancel``.  The
+        hottest call sites (lock acquire, commit release) yield it
+        directly; colder paths go through the :meth:`_entry_ops`
+        wrapper.
+        """
+        cpu = self.cluster.nodes[node_id].cpu
+        instr = count * self._gem_entry_instr
+        cpu.instructions_executed += instr
+        gem = self.gem
+        gem.entry_accesses += count
+        return held_chain(
+            cpu.resource,
+            gem.server,
+            instr / cpu.speed,
+            count * gem.entry_access_time,
+        )
+
     def _entry_ops(
         self, node_id: int, count: int, txn_id: Optional[int] = None
     ) -> Generator[Event, Any, None]:
@@ -87,71 +111,24 @@ class GemLockingProtocol(CCProtocol):
 
         ``txn_id`` attributes the time to that transaction's GEM phase
         (acquire path); release-path accesses pass None and stay inside
-        the covering COMMIT/BACKOFF span.
-
-        This is the hottest protocol generator under GEM (two calls per
-        lock acquire/release), so the CPU grab is inlined and the span
-        context manager is skipped entirely when tracing is off.
+        the covering COMMIT/BACKOFF span.  The span context manager is
+        skipped entirely when tracing is off.
         """
-        cpu = self.cluster.nodes[node_id].cpu
-        resource = cpu.resource
+        done = self._entry_chain(node_id, count)
         recorder = self.recorder
         if recorder.enabled:
             with recorder.span(txn_id, phases.GEM):
-                request = resource.request()
                 try:
-                    yield request
+                    yield done
                 except BaseException:
-                    resource.cancel(request)
+                    held_chain_cancel(done)
                     raise
-                try:
-                    instr = count * self._gem_entry_instr
-                    cpu.instructions_executed += instr
-                    yield self.sim.timeout(instr / cpu.speed)
-                    gem = self.gem
-                    gem.entry_accesses += count
-                    server = gem.server
-                    greq = server.request()
-                    try:
-                        yield greq
-                    except BaseException:
-                        server.cancel(greq)
-                        raise
-                    try:
-                        yield self.sim.timeout(count * gem.entry_access_time)
-                    finally:
-                        server.release()
-                finally:
-                    resource.release()
         else:
-            request = resource.request()
             try:
-                yield request
+                yield done
             except BaseException:
-                resource.cancel(request)
+                held_chain_cancel(done)
                 raise
-            try:
-                instr = count * self._gem_entry_instr
-                cpu.instructions_executed += instr
-                yield self.sim.timeout(instr / cpu.speed)
-                # Inlined self.gem.access_entries(count) (the server's
-                # acquire generator): saves a frame per resume on the
-                # hottest protocol path.
-                gem = self.gem
-                gem.entry_accesses += count
-                server = gem.server
-                greq = server.request()
-                try:
-                    yield greq
-                except BaseException:
-                    server.cancel(greq)
-                    raise
-                try:
-                    yield self.sim.timeout(count * gem.entry_access_time)
-                finally:
-                    server.release()
-            finally:
-                resource.release()
 
     # -- lock acquisition ------------------------------------------------------
 
@@ -173,8 +150,18 @@ class GemLockingProtocol(CCProtocol):
             yield from node.cpu.consume(self._lock_op_instr)
         else:
             # Read the GLT entry and write back the updated value
-            # (grant registered, or wait registered on conflict).
-            yield from self._entry_ops(node_id, 2, txn_id=txn.txn_id)
+            # (grant registered, or wait registered on conflict).  The
+            # hottest GEM access: with tracing off the chain event is
+            # yielded directly, skipping the _entry_ops generator.
+            if self.recorder.enabled:
+                yield from self._entry_ops(node_id, 2, txn_id=txn.txn_id)
+            else:
+                done = self._entry_chain(node_id, 2)
+                try:
+                    yield done
+                except BaseException:
+                    held_chain_cancel(done)
+                    raise
             if self._auth:
                 holder = min(self.glt.entry(page).auth_nodes, default=None)
                 if holder is not None and holder != node_id:
@@ -374,7 +361,12 @@ class GemLockingProtocol(CCProtocol):
             if authorized:
                 yield from node.cpu.consume(self._lock_op_instr)
             else:
-                yield from self._entry_ops(node_id, 2)
+                done = self._entry_chain(node_id, 2)
+                try:
+                    yield done
+                except BaseException:
+                    held_chain_cancel(done)
+                    raise
             entry = self.glt.entry(page)
             new_version = txn.modified.get(page)
             if new_version is not None:
@@ -383,7 +375,12 @@ class GemLockingProtocol(CCProtocol):
             granted = self.glt.release(txn.txn_id, page)
             if granted and not authorized:
                 # One grant-notification entry write per woken waiter.
-                yield from self._entry_ops(node_id, len(granted))
+                done = self._entry_chain(node_id, len(granted))
+                try:
+                    yield done
+                except BaseException:
+                    held_chain_cancel(done)
+                    raise
         txn.held_locks.clear()
 
     def abort_release(self, txn: Transaction) -> Generator[Event, Any, None]:

@@ -78,6 +78,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="FILE",
+        help="run under cProfile and print the 25 hottest functions by "
+             "cumulative time to stderr; with FILE, additionally dump "
+             "the full pstats data there (inspect with python -m pstats)",
+    )
+
+
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes for simulations (default 1)")
@@ -243,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
              "the run to FILE, plus FILE.devices.csv with per-device "
              "utilization time series; implies --breakdown",
     )
+    _add_profile_argument(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     exp_parser = sub.add_parser("experiments", help="regenerate tables/figures")
@@ -262,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_parser.add_argument("--outdir", default="results")
     _add_parallel_arguments(exp_parser)
+    _add_profile_argument(exp_parser)
     exp_parser.set_defaults(func=_cmd_experiments)
 
     trace_parser = sub.add_parser("trace-gen", help="generate a trace file")
@@ -282,7 +293,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if getattr(args, "profile", None) is None:
+        return args.func(args)
+    # --profile: run the subcommand under cProfile and report the
+    # hottest functions by cumulative time on stderr (stdout stays
+    # reserved for the subcommand's own output, e.g. --json).
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = args.func(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        if args.profile:
+            stats.dump_stats(args.profile)
+            print(f"profile data -> {args.profile}", file=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

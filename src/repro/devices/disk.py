@@ -17,13 +17,18 @@ With a cache (:class:`~repro.devices.disk_cache.DiskCache`):
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Tuple
 
 from repro.db.pages import PageId, VersionLedger
 from repro.devices.disk_cache import DiskCache
 from repro.sim.engine import Event, Simulator
-from repro.sim.resources import Resource, Store
+from repro.sim.resources import Resource, Store, hold_seq, hold_seq_cancel
 from repro.sim.rng import Stream
+
+#: Extra legs prepended to an I/O's ``hold_seq`` chain (the issuing
+#: node's CPU setup slice, see ``StorageDirectory``).  Each leg is
+#: ``(resource, time, stream)``; see :func:`repro.sim.resources.hold_seq`.
+Legs = Tuple[Tuple[Optional[Resource], float, Any], ...]
 
 __all__ = ["DiskArray"]
 
@@ -84,62 +89,78 @@ class DiskArray:
             return self.disks[self._rr]
         return self.disks[hash(page) % len(self.disks)]
 
-    def _controller_and_transfer(self) -> Generator[Event, Any, None]:
-        yield from self.controllers.acquire(
-            self.stream.exponential(self.controller_time)
-        )
-        yield self.sim.timeout(self.transfer_time)
-
     def _disk_service(self, page: PageId) -> Generator[Event, Any, None]:
         yield from self._disk_for(page).acquire(self.stream.exponential(self.disk_time))
 
     # -- public I/O operations ---------------------------------------------
 
-    def read(self, page: PageId) -> Generator[Event, Any, int]:
+    def read(self, page: PageId, lead: Legs = ()) -> Generator[Event, Any, int]:
         """Read ``page``; returns the version found on permanent storage.
 
-        ``_controller_and_transfer`` / ``_disk_service`` are inlined
-        here (and in :meth:`write`): disk I/O resumes this frame several
-        times per access and each delegation level adds a frame walk.
+        The whole access -- optional ``lead`` legs (the issuing node's
+        CPU setup slice), controller service, bus transfer, disk
+        service on a miss -- runs as ONE :func:`hold_seq` chain: the
+        caller suspends once per I/O instead of once per leg, with the
+        exponential service times drawn lazily at each leg's start,
+        exactly where the step-per-leg formulation sampled them.
         """
         self.reads += 1
         cache = self.cache
         hit = cache is not None and cache.lookup_for_read(page)
-        yield from self.controllers.acquire(
-            self.stream.exponential(self.controller_time)
+        stream = self.stream
+        legs: Legs = (
+            *lead,
+            (self.controllers, self.controller_time, stream),
+            (None, self.transfer_time, None),
         )
-        yield self.sim.timeout(self.transfer_time)
         if not hit:
-            yield from self._disk_for(page).acquire(
-                self.stream.exponential(self.disk_time)
-            )
+            legs = (*legs, (self._disk_for(page), self.disk_time, stream))
+        done = hold_seq(self.sim, legs)
+        try:
+            yield done
+        except BaseException:
+            hold_seq_cancel(done)
+            raise
+        if not hit:
             self.disk_reads += 1
             if cache is not None:
                 cache.insert(page, dirty=False)
         return self.ledger.storage_version(page)
 
-    def write(self, page: PageId, version: Optional[int]) -> Generator[Event, Any, None]:
+    def write(
+        self, page: PageId, version: Optional[int], lead: Legs = ()
+    ) -> Generator[Event, Any, None]:
         """Write ``version`` of ``page`` to permanent storage.
 
         Returns once the write is *durable*: after the disk write, or
         after the cache write for a non-volatile cache (destage then
         happens in the background).  ``version=None`` performs the
-        timing without ledger bookkeeping (log writes).
+        timing without ledger bookkeeping (log writes).  One
+        :func:`hold_seq` chain, as in :meth:`read`.
         """
         self.writes += 1
         cache = self.cache
         absorbed = cache is not None and cache.note_write(page)
-        yield from self.controllers.acquire(
-            self.stream.exponential(self.controller_time)
+        stream = self.stream
+        legs: Legs = (
+            *lead,
+            (self.controllers, self.controller_time, stream),
+            (None, self.transfer_time, None),
         )
-        yield self.sim.timeout(self.transfer_time)
+        if not absorbed:
+            legs = (*legs, (self._disk_for(page), self.disk_time, stream))
+        done = hold_seq(self.sim, legs)
+        try:
+            yield done
+        except BaseException:
+            hold_seq_cancel(done)
+            raise
         if absorbed:
             if version is not None:
                 self.ledger.write_storage(page, version)
             assert self._destage_queue is not None
             self._destage_queue.put(page)
             return
-        yield from self._disk_for(page).acquire(self.stream.exponential(self.disk_time))
         self.disk_writes += 1
         if version is not None:
             self.ledger.write_storage(page, version)

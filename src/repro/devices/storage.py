@@ -22,6 +22,7 @@ from repro.devices.disk import DiskArray
 from repro.devices.gem import GemDevice
 from repro.node.cpu import CpuPool
 from repro.sim.engine import Event, Simulator
+from repro.sim.resources import held_chain, held_chain_cancel
 
 __all__ = ["StorageDirectory"]
 
@@ -90,39 +91,31 @@ class StorageDirectory:
             yield from self.faults.wait_redo(page)
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
-            # Inlined cpu.grab(): one less generator frame per
-            # synchronous GEM access.
-            request = cpu.resource.request()
+            # One chained entry (held_chain) covers the CPU grant, the
+            # setup instructions and the synchronous GEM page access:
+            # the generator suspends once per I/O instead of per leg.
+            gem = backend
+            gem.page_accesses += 1
+            gio = self.instructions_per_gem_io
+            cpu.instructions_executed += gio
+            done = held_chain(
+                cpu.resource, gem.server, gio / cpu.speed, gem.page_access_time
+            )
             try:
-                yield request
+                yield done
             except BaseException:
-                cpu.resource.cancel(request)
+                held_chain_cancel(done)
                 raise
-            try:
-                gio = self.instructions_per_gem_io
-                cpu.instructions_executed += gio
-                yield self.sim.timeout(gio / cpu.speed)
-                # Inlined backend.access_page() (the server's acquire
-                # generator): one frame less on every resume of a
-                # synchronous GEM access.
-                gem = backend
-                gem.page_accesses += 1
-                server = gem.server
-                greq = server.request()
-                try:
-                    yield greq
-                except BaseException:
-                    server.cancel(greq)
-                    raise
-                try:
-                    yield self.sim.timeout(gem.page_access_time)
-                finally:
-                    server.release()
-            finally:
-                cpu.resource.release()
             return self.ledger.storage_version(page)
-        yield from cpu.consume(self.instructions_per_io)
-        version = yield from backend.read(page)
+        # Disk-resident file: the CPU setup slice rides as the lead leg
+        # of the disk I/O's hold_seq chain -- one suspension covers
+        # CPU, controller, transfer and disk service.
+        instr = self.instructions_per_io
+        lead: Any = ()
+        if instr:
+            cpu.instructions_executed += instr
+            lead = ((cpu.resource, instr / cpu.speed, None),)
+        version = yield from backend.read(page, lead=lead)
         return version
 
     def write(
@@ -135,36 +128,21 @@ class StorageDirectory:
         """
         backend = self._backends[page[0]]
         if isinstance(backend, GemDevice):
-            # Inlined cpu.grab(): one less generator frame per
-            # synchronous GEM access.
-            request = cpu.resource.request()
+            # One chained entry (held_chain) covers the CPU grant, the
+            # setup instructions and the synchronous GEM page access:
+            # the generator suspends once per I/O instead of per leg.
+            gem = backend
+            gem.page_accesses += 1
+            gio = self.instructions_per_gem_io
+            cpu.instructions_executed += gio
+            done = held_chain(
+                cpu.resource, gem.server, gio / cpu.speed, gem.page_access_time
+            )
             try:
-                yield request
+                yield done
             except BaseException:
-                cpu.resource.cancel(request)
+                held_chain_cancel(done)
                 raise
-            try:
-                gio = self.instructions_per_gem_io
-                cpu.instructions_executed += gio
-                yield self.sim.timeout(gio / cpu.speed)
-                # Inlined backend.access_page() (the server's acquire
-                # generator): one frame less on every resume of a
-                # synchronous GEM access.
-                gem = backend
-                gem.page_accesses += 1
-                server = gem.server
-                greq = server.request()
-                try:
-                    yield greq
-                except BaseException:
-                    server.cancel(greq)
-                    raise
-                try:
-                    yield self.sim.timeout(gem.page_access_time)
-                finally:
-                    server.release()
-            finally:
-                cpu.resource.release()
             if version is not None:
                 self.ledger.write_storage(page, version)
             return
@@ -172,42 +150,31 @@ class StorageDirectory:
         if write_buffer is not None:
             # GEM write buffer: the write is durable after a synchronous
             # GEM page access; the disk copy is updated asynchronously.
-            # Inlined cpu.grab(): one less generator frame per
-            # synchronous GEM access.
-            request = cpu.resource.request()
+            # One chained entry (held_chain) covers the CPU grant, the
+            # setup instructions and the synchronous GEM page access:
+            # the generator suspends once per I/O instead of per leg.
+            gem = write_buffer
+            gem.page_accesses += 1
+            gio = self.instructions_per_gem_io
+            cpu.instructions_executed += gio
+            done = held_chain(
+                cpu.resource, gem.server, gio / cpu.speed, gem.page_access_time
+            )
             try:
-                yield request
+                yield done
             except BaseException:
-                cpu.resource.cancel(request)
+                held_chain_cancel(done)
                 raise
-            try:
-                gio = self.instructions_per_gem_io
-                cpu.instructions_executed += gio
-                yield self.sim.timeout(gio / cpu.speed)
-                # Inlined write_buffer.access_page() (the server's acquire
-                # generator): one frame less on every resume of a
-                # synchronous GEM access.
-                gem = write_buffer
-                gem.page_accesses += 1
-                server = gem.server
-                greq = server.request()
-                try:
-                    yield greq
-                except BaseException:
-                    server.cancel(greq)
-                    raise
-                try:
-                    yield self.sim.timeout(gem.page_access_time)
-                finally:
-                    server.release()
-            finally:
-                cpu.resource.release()
             if version is not None:
                 self.ledger.write_storage(page, version)
             self.sim.process(self._destage(backend, page), name="gem-wbuf-destage")
             return
-        yield from cpu.consume(self.instructions_per_io)
-        yield from backend.write(page, version)
+        instr = self.instructions_per_io
+        lead: Any = ()
+        if instr:
+            cpu.instructions_executed += instr
+            lead = ((cpu.resource, instr / cpu.speed, None),)
+        yield from backend.write(page, version, lead=lead)
 
     def _destage(self, backend: DiskArray, page: PageId):
         """Background disk update behind the GEM write buffer."""
@@ -221,40 +188,29 @@ class StorageDirectory:
         node's log -- charged to the recovering node's CPU.
         """
         if self._log_gem is not None:
-            # Inlined cpu.grab(): one less generator frame per
-            # synchronous GEM access.
-            request = cpu.resource.request()
+            # One chained entry (held_chain) covers the CPU grant, the
+            # setup instructions and the synchronous GEM page access:
+            # the generator suspends once per I/O instead of per leg.
+            gem = self._log_gem
+            gem.page_accesses += 1
+            gio = self.instructions_per_gem_io
+            cpu.instructions_executed += gio
+            done = held_chain(
+                cpu.resource, gem.server, gio / cpu.speed, gem.page_access_time
+            )
             try:
-                yield request
+                yield done
             except BaseException:
-                cpu.resource.cancel(request)
+                held_chain_cancel(done)
                 raise
-            try:
-                gio = self.instructions_per_gem_io
-                cpu.instructions_executed += gio
-                yield self.sim.timeout(gio / cpu.speed)
-                # Inlined self._log_gem.access_page() (the server's acquire
-                # generator): one frame less on every resume of a
-                # synchronous GEM access.
-                gem = self._log_gem
-                gem.page_accesses += 1
-                server = gem.server
-                greq = server.request()
-                try:
-                    yield greq
-                except BaseException:
-                    server.cancel(greq)
-                    raise
-                try:
-                    yield self.sim.timeout(gem.page_access_time)
-                finally:
-                    server.release()
-            finally:
-                cpu.resource.release()
             return
         log_disk = self._log_disks[node_id]
-        yield from cpu.consume(self.instructions_per_io)
-        yield from log_disk.read((-1 - node_id, 0))
+        instr = self.instructions_per_io
+        lead: Any = ()
+        if instr:
+            cpu.instructions_executed += instr
+            lead = ((cpu.resource, instr / cpu.speed, None),)
+        yield from log_disk.read((-1 - node_id, 0), lead=lead)
 
     def write_log(self, node_id: int, cpu: CpuPool) -> Generator[Event, Any, None]:
         """Write one log page at commit (phase 1).
@@ -264,38 +220,27 @@ class StorageDirectory:
         durable and more than two orders of magnitude faster).
         """
         if self._log_gem is not None:
-            # Inlined cpu.grab(): one less generator frame per
-            # synchronous GEM access.
-            request = cpu.resource.request()
+            # One chained entry (held_chain) covers the CPU grant, the
+            # setup instructions and the synchronous GEM page access:
+            # the generator suspends once per I/O instead of per leg.
+            gem = self._log_gem
+            gem.page_accesses += 1
+            gio = self.instructions_per_gem_io
+            cpu.instructions_executed += gio
+            done = held_chain(
+                cpu.resource, gem.server, gio / cpu.speed, gem.page_access_time
+            )
             try:
-                yield request
+                yield done
             except BaseException:
-                cpu.resource.cancel(request)
+                held_chain_cancel(done)
                 raise
-            try:
-                gio = self.instructions_per_gem_io
-                cpu.instructions_executed += gio
-                yield self.sim.timeout(gio / cpu.speed)
-                # Inlined self._log_gem.access_page() (the server's acquire
-                # generator): one frame less on every resume of a
-                # synchronous GEM access.
-                gem = self._log_gem
-                gem.page_accesses += 1
-                server = gem.server
-                greq = server.request()
-                try:
-                    yield greq
-                except BaseException:
-                    server.cancel(greq)
-                    raise
-                try:
-                    yield self.sim.timeout(gem.page_access_time)
-                finally:
-                    server.release()
-            finally:
-                cpu.resource.release()
             return
         log_disk = self._log_disks[node_id]
-        yield from cpu.consume(self.instructions_per_io)
+        instr = self.instructions_per_io
+        lead: Any = ()
+        if instr:
+            cpu.instructions_executed += instr
+            lead = ((cpu.resource, instr / cpu.speed, None),)
         self._log_seq += 1
-        yield from log_disk.write((-1 - node_id, self._log_seq), None)
+        yield from log_disk.write((-1 - node_id, self._log_seq), None, lead=lead)

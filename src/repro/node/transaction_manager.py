@@ -16,12 +16,13 @@ Deadlock victims are rolled back, wait a short back-off, and restart.
 
 from __future__ import annotations
 
+from math import log
 from typing import Any, Dict, Generator, Tuple, TYPE_CHECKING
 
 from repro.cc.base import LockGrant
 from repro.errors import NodeCrashed, TransactionAborted
 from repro.obs import phases
-from repro.sim.engine import Event, Process, Timeout
+from repro.sim.engine import Event, Process
 from repro.workload.transaction import PageAccess, Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,11 +45,6 @@ class TransactionManager:
         self.instr_bot, self.instr_per_access, self.instr_eot = profile
         if min(profile) < 0:
             raise ValueError(f"negative instruction count in profile: {profile!r}")
-        # Precomputed exponential rates for the inlined CPU draws in
-        # ``_lifecycle``; 0.0 marks a zero-work phase (no RNG draw).
-        self._rate_bot = 1.0 / self.instr_bot if self.instr_bot else 0.0
-        self._rate_access = 1.0 / self.instr_per_access if self.instr_per_access else 0.0
-        self._rate_eot = 1.0 / self.instr_eot if self.instr_eot else 0.0
         #: In-flight transactions: txn_id -> (txn, lifecycle process).
         #: The fault manager interrupts these when the node crashes.
         self.active: Dict[int, Tuple[Transaction, Process]] = {}
@@ -86,48 +82,69 @@ class TransactionManager:
                 held_locks = txn.held_locks  # cleared in place on restart
                 grants = txn.grants
                 # The three CPU phases below inline cpu.consume_exp:
-                # same RNG stream and call (expovariate(1.0 / mean)),
-                # same request/timeout/release sequence, minus the
-                # acquire-generator frame on every resume.
+                # the exponential draw ``-log(1 - U) * mean`` consumes
+                # the same uniform from the same stream as
+                # ``expovariate(1 / mean)``, minus the method-call and
+                # division overhead; the grant/hold/release accounting
+                # is unchanged, minus the acquire-generator frame on
+                # every resume.  Each slice is coalesced
+                # (Resource.hold): one slice-end entry, one resume,
+                # whether or not the CPU is contended.  The per-access
+                # phase -- the hottest span site in the simulator --
+                # skips the span context manager entirely when the
+                # recorder is disabled.
                 cpu_res = cpu.resource
+                cpu_hold = cpu_res.hold
                 speed = cpu.speed
-                exp = cpu.stream.expovariate
-                rate_bot = self._rate_bot
-                rate_access = self._rate_access
-                rate_eot = self._rate_eot
+                rnd = cpu.stream._rng.random
+                mean_bot = self.instr_bot
+                mean_access = self.instr_per_access
+                mean_eot = self.instr_eot
+                tracing = recorder.enabled
                 while True:
                     try:
                         with recorder.span(txn.txn_id, phases.CPU):
-                            instr = exp(rate_bot) if rate_bot else 0.0
+                            instr = -log(1.0 - rnd()) * mean_bot if mean_bot else 0.0
                             cpu.instructions_executed += instr
                             if instr:
-                                request = cpu_res.request()
+                                entry = cpu_hold(instr / speed)
                                 try:
-                                    yield request
+                                    yield entry
                                 except BaseException:
-                                    cpu_res.cancel(request)
+                                    cpu_res.hold_cancel(entry)
                                     raise
-                                try:
-                                    yield Timeout(sim, instr / speed)
-                                finally:
-                                    cpu_res.release()
                         for access in txn.accesses:
                             if access.page[1] == HISTORY_APPEND:
                                 self._materialize_history(access)
-                            with recorder.span(txn.txn_id, phases.CPU):
-                                instr = exp(rate_access) if rate_access else 0.0
+                            if tracing:
+                                with recorder.span(txn.txn_id, phases.CPU):
+                                    instr = (
+                                        -log(1.0 - rnd()) * mean_access
+                                        if mean_access
+                                        else 0.0
+                                    )
+                                    cpu.instructions_executed += instr
+                                    if instr:
+                                        entry = cpu_hold(instr / speed)
+                                        try:
+                                            yield entry
+                                        except BaseException:
+                                            cpu_res.hold_cancel(entry)
+                                            raise
+                            else:
+                                instr = (
+                                    -log(1.0 - rnd()) * mean_access
+                                    if mean_access
+                                    else 0.0
+                                )
                                 cpu.instructions_executed += instr
                                 if instr:
-                                    request = cpu_res.request()
+                                    entry = cpu_hold(instr / speed)
                                     try:
-                                        yield request
+                                        yield entry
                                     except BaseException:
-                                        cpu_res.cancel(request)
+                                        cpu_res.hold_cancel(entry)
                                         raise
-                                    try:
-                                        yield Timeout(sim, instr / speed)
-                                    finally:
-                                        cpu_res.release()
                             grant = None
                             if access.lockable:
                                 # Held-lock fast path: no protocol call,
@@ -142,19 +159,15 @@ class TransactionManager:
                         # force-writes), sequence-number publication and
                         # lock release.
                         with recorder.span(txn.txn_id, phases.COMMIT):
-                            instr = exp(rate_eot) if rate_eot else 0.0
+                            instr = -log(1.0 - rnd()) * mean_eot if mean_eot else 0.0
                             cpu.instructions_executed += instr
                             if instr:
-                                request = cpu_res.request()
+                                entry = cpu_hold(instr / speed)
                                 try:
-                                    yield request
+                                    yield entry
                                 except BaseException:
-                                    cpu_res.cancel(request)
+                                    cpu_res.hold_cancel(entry)
                                     raise
-                                try:
-                                    yield Timeout(sim, instr / speed)
-                                finally:
-                                    cpu_res.release()
                             # Commit phase 0: optimistic protocols
                             # validate here and raise TransactionAborted
                             # into the rollback/restart path below.  A

@@ -10,16 +10,36 @@ The hot paths -- triggering an event, resuming a process, the run loop
 -- are deliberately flat: scheduling is inlined into
 :meth:`Event.succeed` and :class:`Timeout`, the generator ``send`` /
 ``throw`` methods are bound once per process, and the run loop touches
-the heap through pre-bound module functions.  These are constant-factor
-rewrites only; the event order, event count and float arithmetic are
-bit-identical to the straightforward formulation (the golden tests pin
-this).
+the heap through pre-bound module functions.
+
+Same-timestamp scheduling bypasses the heap entirely.  Every zero-delay
+schedule lands at the current clock value, so the engine keeps two FIFO
+side lanes next to the heap -- ``_urgent`` for priority-:data:`URGENT`
+entries (process bootstraps, interrupt relays) and ``_ready`` for
+zero-delay :data:`NORMAL` entries (resource grants, mailbox deliveries).
+Lane entries carry the same ``(time, priority, seq, event)`` tuples as
+the heap, and the run loop picks the tuple-minimum of the lane heads
+and the heap top, so the observable execution order is *identical* to
+pushing everything through one heap: the global monotone ``seq``
+remains the only same-time tie-break.  What changes is the cost -- one
+heap pop brings the clock to ``t`` and the whole same-timestamp cohort
+then drains from the lanes at deque speed.
+
+:class:`_Callback` is the other structural event-count saver: a
+pre-armed, ``__slots__``-based record whose dispatch function is
+installed as its first callback at construction.  Resource slices
+(grant -> hold -> release) schedule one ``_Callback`` at the slice end
+instead of a grant event plus a timeout, halving both the heap traffic
+and the generator resumes of the no-contention fast path (see
+:meth:`repro.sim.resources.Resource.hold`).
 """
 
 from __future__ import annotations
 
+import gc
+from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 __all__ = [
     "AllOf",
@@ -112,7 +132,10 @@ class Event:
         self._scheduled = True
         sim = self.sim
         sim._seq += 1
-        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
+        if delay == 0.0:
+            sim._ready.append((sim.now, NORMAL, sim._seq, self))
+        else:
+            heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -132,7 +155,10 @@ class Event:
         self._scheduled = True
         sim = self.sim
         sim._seq += 1
-        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
+        if delay == 0.0:
+            sim._ready.append((sim.now, NORMAL, sim._seq, self))
+        else:
+            heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -159,7 +185,35 @@ class Timeout(Event):
         self._scheduled = True
         self.delay = delay
         sim._seq += 1
-        heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
+        if delay == 0.0:
+            sim._ready.append((sim.now, NORMAL, sim._seq, self))
+        else:
+            heappush(sim._heap, (sim.now + delay, NORMAL, sim._seq, self))
+
+
+class _Callback(Event):
+    """A pre-armed plumbing event that never goes through succeed/fail.
+
+    The creator installs a module-level dispatch function as the first
+    (and initially only) callback and parks whatever state the dispatch
+    needs in ``data``.  A process may still wait on it -- its resume
+    callback is appended behind the dispatch function, so the dispatch
+    always runs first when the entry is popped.
+
+    This is the record behind the coalesced resource slice: one
+    ``_Callback`` at the slice-end timestamp replaces the grant event
+    plus hold timeout of the event-per-step formulation (the dispatch
+    releases the resource before the holder resumes, exactly where the
+    ``finally: release()`` of the two-event path ran).  A contended
+    slice parks the entry on the resource's wait queue with its
+    ``duration``; the grant arms the slice-end timer directly instead
+    of waking the holder just to start it.
+    """
+
+    __slots__ = ("data", "duration")
+
+    data: Any
+    duration: float
 
 
 class Process(Event):
@@ -208,7 +262,7 @@ class Process(Event):
         bootstrap._scheduled = True
         self._waiting_on: Optional[Event] = bootstrap
         sim._seq += 1
-        heappush(sim._heap, (sim.now, URGENT, sim._seq, bootstrap))
+        sim._urgent.append((sim.now, URGENT, sim._seq, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -253,7 +307,7 @@ class Process(Event):
         relay._ok = False
         relay._scheduled = True
         sim._seq += 1
-        heappush(sim._heap, (sim.now, URGENT, sim._seq, relay))
+        sim._urgent.append((sim.now, URGENT, sim._seq, relay))
         return True
 
     def _resume(self, event: Event) -> None:
@@ -264,11 +318,16 @@ class Process(Event):
             else:
                 target = self._throw(event._value)
         except StopIteration as stop:
+            # Break the instance -> bound-method -> instance cycle so a
+            # finished process is freed by reference counting alone (the
+            # run loop suspends the cyclic collector, see ``run``).
+            self._resume_cb = _discard
             self.succeed(stop.value)
             return
         except BaseException as exc:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
+            self._resume_cb = _discard
             self.fail(exc)
             return
         sim = self.sim
@@ -304,7 +363,7 @@ class Process(Event):
             relay._scheduled = True
             self._waiting_on = relay
             sim._seq += 1
-            heappush(sim._heap, (sim.now, URGENT, sim._seq, relay))
+            sim._urgent.append((sim.now, URGENT, sim._seq, relay))
         else:
             self._waiting_on = target
             callbacks.append(self._resume_cb)
@@ -403,6 +462,14 @@ class Simulator:
         #: Number of events executed so far (for diagnostics).
         self.events_processed = 0
         self._heap: List[Any] = []
+        #: Same-timestamp fast lanes (see module docstring): FIFO
+        #: deques of the same ``(time, priority, seq, event)`` tuples
+        #: as the heap.  Every entry in them is at the current clock
+        #: value -- zero-delay schedules only -- so append order is seq
+        #: order and the lane heads compare against the heap top with
+        #: plain tuple comparison.
+        self._urgent: Deque[Any] = deque()
+        self._ready: Deque[Any] = deque()
         self._seq = 0
 
     # -- event construction helpers ------------------------------------
@@ -426,7 +493,10 @@ class Simulator:
         event._scheduled = True
         event.delay = delay
         self._seq += 1
-        heappush(self._heap, (self.now + delay, NORMAL, self._seq, event))
+        if delay == 0.0:
+            self._ready.append((self.now, NORMAL, self._seq, event))
+        else:
+            heappush(self._heap, (self.now + delay, NORMAL, self._seq, event))
         return event
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
@@ -446,13 +516,42 @@ class Simulator:
             raise SimulationError("event already scheduled")
         event._scheduled = True
         self._seq += 1
-        heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        if delay == 0.0:
+            lane = self._urgent if priority == URGENT else self._ready
+            lane.append((self.now, priority, self._seq, event))
+        else:
+            heappush(self._heap, (self.now + delay, priority, self._seq, event))
 
     # -- running --------------------------------------------------------
 
+    def _pop_next(self) -> Any:
+        """Pop the globally next ``(time, priority, seq, event)`` entry.
+
+        The lane heads and the heap top are all valid heap tuples; the
+        global minimum is the next event.  ``_urgent`` entries are at
+        the current time with priority :data:`URGENT`, so they can only
+        lose to a heap entry by ``seq`` (a delayed URGENT schedule
+        landing on this exact timestamp); ``_ready`` entries can only
+        lose to heap URGENTs or an earlier-``seq`` NORMAL landing now.
+        Raises ``IndexError`` when no event is scheduled at all.
+        """
+        urgent = self._urgent
+        if urgent:
+            heap = self._heap
+            if heap and heap[0] < urgent[0]:
+                return heappop(heap)
+            return urgent.popleft()
+        ready = self._ready
+        if ready:
+            heap = self._heap
+            if heap and heap[0] < ready[0]:
+                return heappop(heap)
+            return ready.popleft()
+        return heappop(self._heap)
+
     def step(self) -> None:
         """Process a single event."""
-        _time, _prio, _seq, event = heappop(self._heap)
+        _time, _prio, _seq, event = self._pop_next()
         self.now = _time
         callbacks = event.callbacks
         event.callbacks = None
@@ -478,12 +577,30 @@ class Simulator:
         ``until`` even if the last event fires earlier.
 
         The loop body is :meth:`step` inlined, with the processed-event
-        counter kept in a local (flushed on every exit path): one heap
-        pop, clock store and callback sweep per event and nothing else.
+        counter kept in a local (flushed on every exit path).  The lane
+        checks come first: while a same-timestamp cohort is draining,
+        the next event is almost always a deque head, and the single
+        tuple comparison against the heap top replaces a full heap
+        sift.  The horizon check lives in the heap-only branch -- lane
+        entries are always at the current clock value, which the loop
+        never advances past ``until``.
+
+        The cyclic garbage collector is suspended for the duration of
+        the loop (restored on every exit path): the event churn would
+        otherwise trigger hundreds of generation-0 scans per simulated
+        second, and the dominant cycle -- a finished process holding
+        its own bound resume method -- is broken explicitly in
+        :meth:`Process._resume`, so reference counting reclaims the
+        plumbing as it completes.
         """
         if until is not None and until < self.now:
             raise SimulationError("cannot run into the past")
+        gc_enabled = gc.isenabled()
+        if gc_enabled:
+            gc.disable()
         heap = self._heap
+        urgent = self._urgent
+        ready = self._ready
         pop = heappop
         processed = self.events_processed
         # Two copies of the loop so the horizon check costs nothing
@@ -491,8 +608,24 @@ class Simulator:
         # event when it is).
         try:
             if until is None:
-                while heap:
-                    time_, _prio, _seq, event = pop(heap)
+                while True:
+                    if urgent:
+                        entry = urgent[0]
+                        if heap and heap[0] < entry:
+                            entry = pop(heap)
+                        else:
+                            urgent.popleft()
+                    elif ready:
+                        entry = ready[0]
+                        if heap and heap[0] < entry:
+                            entry = pop(heap)
+                        else:
+                            ready.popleft()
+                    elif heap:
+                        entry = pop(heap)
+                    else:
+                        break
+                    time_, _prio, _seq, event = entry
                     self.now = time_
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -504,11 +637,27 @@ class Simulator:
                     ):
                         raise event._value
             else:
-                while heap:
-                    if heap[0][0] > until:
-                        self.now = until
-                        return
-                    time_, _prio, _seq, event = pop(heap)
+                while True:
+                    if urgent:
+                        entry = urgent[0]
+                        if heap and heap[0] < entry:
+                            entry = pop(heap)
+                        else:
+                            urgent.popleft()
+                    elif ready:
+                        entry = ready[0]
+                        if heap and heap[0] < entry:
+                            entry = pop(heap)
+                        else:
+                            ready.popleft()
+                    elif heap:
+                        if heap[0][0] > until:
+                            self.now = until
+                            return
+                        entry = pop(heap)
+                    else:
+                        break
+                    time_, _prio, _seq, event = entry
                     self.now = time_
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -521,9 +670,13 @@ class Simulator:
                         raise event._value
         finally:
             self.events_processed = processed
+            if gc_enabled:
+                gc.enable()
         if until is not None:
             self.now = until
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._urgent or self._ready:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")

@@ -52,9 +52,19 @@ class Tally:
 
     If ``keep_samples`` is true, all observations are retained so that
     percentiles can be computed; otherwise only the moments are kept.
+
+    Zero-valued observations may be recorded *deferred*: a caller on a
+    hot path increments ``count`` and ``_zeros`` instead of running the
+    full Welford update (see ``Resource``'s uncontended grants, where
+    the waiting time is 0.0 by construction).  The pending zeros are
+    folded into the moments with the exact pairwise-merge formula
+    before anything reads or records through them, so every property
+    returns the same statistics as eager recording would (merging a
+    block of equal observations is mathematically exact; only the
+    float rounding of the intermediate sums differs).
     """
 
-    __slots__ = ("name", "count", "_mean", "_m2", "_min", "_max", "_samples")
+    __slots__ = ("name", "count", "_mean", "_m2", "_min", "_max", "_zeros", "_samples")
 
     def __init__(self, name: str = "", keep_samples: bool = False) -> None:
         self.name = name
@@ -63,9 +73,38 @@ class Tally:
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._zeros = 0
         self._samples: Optional[List[float]] = [] if keep_samples else None
 
+    def _fold(self) -> None:
+        """Fold deferred zero observations into the moments.
+
+        Chan et al.'s parallel-merge formula for combining the running
+        moments with a block of ``k`` zeros (mean 0, M2 0): with
+        ``delta = -mean``, the merged mean is ``mean * n_old / n`` and
+        ``M2 += delta^2 * n_old * k / n = mean * new_mean * k``.
+        ``count`` already includes the zeros (it is kept eager so
+        direct readers never see a stale total).
+        """
+        k = self._zeros
+        if not k:
+            return
+        self._zeros = 0
+        n = self.count
+        n_old = n - k
+        if n_old:
+            mean = self._mean
+            new_mean = mean * (n_old / n)
+            self._m2 += mean * new_mean * k
+            self._mean = new_mean
+        if self._min > 0.0:
+            self._min = 0.0
+        if self._max < 0.0:
+            self._max = 0.0
+
     def record(self, value: float) -> None:
+        if self._zeros:
+            self._fold()
         self.count += 1
         delta = value - self._mean
         self._mean += delta / self.count
@@ -85,6 +124,8 @@ class Tally:
         that preserves exactness); the win is one call and locals-bound
         accumulation instead of attribute traffic per observation.
         """
+        if self._zeros:
+            self._fold()
         count = self.count
         mean = self._mean
         m2 = self._m2
@@ -109,6 +150,8 @@ class Tally:
 
     @property
     def mean(self) -> float:
+        if self._zeros:
+            self._fold()
         return self._mean if self.count else 0.0
 
     @property
@@ -119,15 +162,21 @@ class Tally:
         ``inf`` as the non-standard ``Infinity`` token, which strict
         JSON parsers reject.
         """
+        if self._zeros:
+            self._fold()
         return self._min if self.count else None
 
     @property
     def max(self) -> Optional[float]:
         """Largest observation, or None for an empty tally."""
+        if self._zeros:
+            self._fold()
         return self._max if self.count else None
 
     @property
     def variance(self) -> float:
+        if self._zeros:
+            self._fold()
         return self._m2 / (self.count - 1) if self.count > 1 else 0.0
 
     @property
@@ -170,6 +219,7 @@ class Tally:
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._zeros = 0
         if self._samples is not None:
             self._samples = []
 

@@ -60,9 +60,13 @@ class TestCommittedSnapshots:
             assert snapshot["workload"] == WORKLOAD
 
     def test_snapshot_name_matches_embedded_date(self):
+        # The name must lead with the embedded date (a short suffix may
+        # disambiguate two snapshots taken the same day) so that the
+        # lexical order find_latest_snapshot relies on stays date order.
         for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
             snapshot = load_snapshot(path)
-            assert path.name == f"BENCH_{snapshot['date']}.json"
+            assert path.name.startswith(f"BENCH_{snapshot['date']}")
+            assert path.name.endswith(".json")
 
 
 class TestValidateSnapshot:
