@@ -52,6 +52,7 @@ from repro.cc.base import CCProtocol, LockGrant, PageSource
 from repro.cc.messages import (
     DgccDonePayload,
     DgccJoinPayload,
+    DgccSchedPayload,
     PageRequestPayload,
     PageResponsePayload,
 )
@@ -195,7 +196,7 @@ class DgccProtocol(CCProtocol):
         else:
             coord_node = self.cluster.nodes[coord]
             faults = self.cluster.faults
-            sched: Dict[str, Any] = {"batch": self.batches}
+            sched: DgccSchedPayload = {"batch": self.batches}
             for node in self.cluster.nodes:
                 if node.node_id == coord:
                     continue

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from typing import (
     Any,
+    Dict,
     Generator,
     List,
     Mapping,
+    NamedTuple,
     Optional,
     Protocol,
     Tuple,
@@ -36,6 +38,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "MessageHandler",
+    "WireFormat",
+    "WIRE_FORMATS",
     "LockRequestPayload",
     "LockResponsePayload",
     "ReleasePayload",
@@ -55,6 +59,7 @@ __all__ = [
     "MvccAbortPayload",
     "DgccJoinPayload",
     "DgccDonePayload",
+    "DgccSchedPayload",
 ]
 
 
@@ -250,6 +255,14 @@ class DgccDonePayload(TypedDict):
     committed: bool
 
 
+class DgccSchedPayload(TypedDict):
+    """``dgcc_sched``: schedule publication broadcast to batch members
+    (delivery-confirmed via the reply event; the batch number lets a
+    member sanity-check it is acting on the current schedule)."""
+
+    batch: int
+
+
 # -- fault handling ----------------------------------------------------
 
 
@@ -258,3 +271,60 @@ class GlaTransferPayload(TypedDict):
     partition hand-over during failover and failback."""
 
     home: int
+
+
+# -- the wire-format declaration ----------------------------------------
+
+
+class WireFormat(NamedTuple):
+    """One declared message kind: payload shape + expected receivers.
+
+    ``handled_by`` names the protocol classes that must register a
+    handler for the kind (empty: the message is delivered into a
+    ``reply_event`` and never reaches the dispatcher).  ``simlint``'s
+    MSG rules read this mapping from the AST and cross-check every
+    ``send`` payload and ``register_handler`` call against it; keep it
+    exhaustive -- an undeclared kind is a lint error at the send site.
+    """
+
+    payload: type
+    handled_by: Tuple[str, ...]
+
+
+WIRE_FORMATS: Dict[str, WireFormat] = {
+    # primary copy locking
+    "lock_req": WireFormat(LockRequestPayload, ("PrimaryCopyProtocol",)),
+    "lock_rsp": WireFormat(LockResponsePayload, ()),
+    "release": WireFormat(ReleasePayload, ("PrimaryCopyProtocol",)),
+    "revoke": WireFormat(RevokePayload, ("PrimaryCopyProtocol",)),
+    "revoke_ack": WireFormat(AckPayload, ()),
+    # GEM locking (page_req is shared by every protocol that can own
+    # a dirty page under the GEM/RDMA regimes)
+    "page_req": WireFormat(
+        PageRequestPayload,
+        ("GemLockingProtocol", "MvccProtocol", "DgccProtocol"),
+    ),
+    "page_rsp": WireFormat(PageResponsePayload, ()),
+    "glt_revoke": WireFormat(GltRevokePayload, ("GemLockingProtocol",)),
+    "glt_revoke_ack": WireFormat(AckPayload, ()),
+    # MVCC
+    "mv_ts": WireFormat(TimestampRequestPayload, ("MvccProtocol",)),
+    "mv_ts_rsp": WireFormat(TimestampResponsePayload, ()),
+    "mv_read": WireFormat(MvccReadPayload, ("MvccProtocol",)),
+    "mv_read_rsp": WireFormat(MvccReadResponsePayload, ()),
+    "mv_reserve": WireFormat(MvccReservePayload, ("MvccProtocol",)),
+    "mv_rsp": WireFormat(LockResponsePayload, ()),
+    "mv_validate": WireFormat(MvccValidatePayload, ("MvccProtocol",)),
+    "mv_validate_rsp": WireFormat(AckPayload, ()),
+    "mv_install": WireFormat(MvccInstallPayload, ("MvccProtocol",)),
+    "mv_install_ack": WireFormat(AckPayload, ()),
+    "mv_abort": WireFormat(MvccAbortPayload, ("MvccProtocol",)),
+    # DGCC
+    "dgcc_join": WireFormat(DgccJoinPayload, ("DgccProtocol",)),
+    "dgcc_done": WireFormat(DgccDonePayload, ("DgccProtocol",)),
+    "dgcc_sched": WireFormat(DgccSchedPayload, ()),
+    # fault handling (failover orchestration; delivery-confirmed)
+    "gla_failover": WireFormat(GlaTransferPayload, ()),
+    "gla_state": WireFormat(GlaTransferPayload, ()),
+    "gla_failback": WireFormat(GlaTransferPayload, ()),
+}

@@ -58,6 +58,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="crash NODE at simulated second TIME for DOWN seconds "
              "(repeatable; enables the fault-injection subsystem)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the simsan runtime sanitizer (observation-only "
+             "invariant checks; identical results, slower run)",
+    )
     _add_parallel_arguments(parser)
 
 
@@ -117,6 +122,7 @@ def _config_from_args(args: argparse.Namespace) -> SystemConfig:
         random_seed=args.seed,
         warmup_time=args.warmup,
         measure_time=args.measure,
+        sanitize=getattr(args, "sanitize", False),
     )
 
 

@@ -1,0 +1,200 @@
+"""``simlint --fix``: mechanical autofixes for a safe subset of rules.
+
+Two rules have fixes whose correctness is locally decidable:
+
+* **DET001** (iteration over an unordered collection) -- wrap the
+  iterable in ``sorted(...)``.  Applied to ``for`` loops (wrap the
+  iterated expression), ``list()``/``tuple()`` materialisations (wrap
+  the argument) and OS-ordered listings such as ``os.listdir``/``glob``
+  (wrap the call).  The ``iter()``-over-a-set variant has no mechanical
+  fix (the right repair is ``min()``/``max()`` with a key) and is left
+  alone.
+* **SUP001** (malformed simlint suppression) -- normalise recoverable
+  spelling variants (``disable: RULE``, missing spaces, single-dash
+  justification separator, lower-case rule ids) to the canonical
+  ``# simlint: disable=RULE -- why`` form.  A suppression whose
+  justification is genuinely missing cannot be invented and is left
+  for a human.
+
+Fixes are idempotent: running ``--fix`` twice produces the same text,
+because a fixed site no longer matches its rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from io import StringIO
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules import is_known_rule
+from repro.lint.runner import collect_files, lint_sources
+
+__all__ = ["fix_source", "fix_paths"]
+
+#: Rules the autofixer knows how to repair.
+FIXABLE_RULES = ("DET001", "SUP001")
+
+#: Call names whose DET001 finding wraps the *argument*.
+_WRAP_ARGUMENT = {"list", "tuple"}
+#: Call names with no mechanical DET001 fix.
+_NO_FIX = {"iter"}
+
+#: Lenient recogniser for almost-right suppression comments.
+_LENIENT = re.compile(
+    r"#\s*simlint\s*[:,]?\s*(?P<form>disable(?:[-_]next)?)\s*[:=]\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)\s*(?:-{1,2}\s*(?P<why>.*\S))?\s*$"
+)
+
+
+def _splice(
+    lines: List[str], start: Tuple[int, int], end: Tuple[int, int], prefix: str, suffix: str
+) -> None:
+    """Insert ``prefix``/``suffix`` around the [start, end) source span.
+
+    Positions are ``(lineno, col)`` with 1-based lines.  The end is
+    edited first so the start offsets stay valid.
+    """
+    end_line, end_col = end
+    lines[end_line - 1] = (
+        lines[end_line - 1][:end_col] + suffix + lines[end_line - 1][end_col:]
+    )
+    start_line, start_col = start
+    lines[start_line - 1] = (
+        lines[start_line - 1][:start_col] + prefix + lines[start_line - 1][start_col:]
+    )
+
+
+def _span(node: ast.AST) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    return (
+        (node.lineno, node.col_offset),
+        (node.end_lineno, node.end_col_offset),
+    )
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _det001_edit(
+    tree: ast.AST, finding: Finding
+) -> Optional[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """The source span to wrap in ``sorted(...)`` for one DET001 finding."""
+    for node in ast.walk(tree):
+        if (
+            getattr(node, "lineno", None) != finding.line
+            or getattr(node, "col_offset", None) != finding.col
+        ):
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return _span(node.iter)
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _NO_FIX:
+                return None
+            if name in _WRAP_ARGUMENT and node.args:
+                return _span(node.args[0])
+            # OS-ordered listing (os.listdir, glob, ...): wrap the call.
+            return _span(node)
+    return None
+
+
+def _normalise_suppression(comment: str) -> Optional[str]:
+    """Canonical form of an almost-right suppression, or None."""
+    match = _LENIENT.search(comment)
+    if match is None:
+        return None
+    form = match.group("form").replace("_", "-")
+    why = match.group("why")
+    if not why:
+        return None  # a justification cannot be invented
+    rules: List[str] = []
+    for raw in match.group("rules").split(","):
+        rule = raw.strip()
+        if not rule:
+            continue
+        if not is_known_rule(rule):
+            if is_known_rule(rule.upper()):
+                rule = rule.upper()
+            else:
+                return None  # unknown rule: not mechanically fixable
+        rules.append(rule)
+    if not rules:
+        return None
+    normalised = f"# simlint: {form}={','.join(rules)} -- {why}"
+    return None if normalised == comment else normalised
+
+
+def _sup001_fixes(source: str) -> List[Tuple[int, str, str]]:
+    """(line, old comment, new comment) replacements for one file."""
+    fixes: List[Tuple[int, str, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    for token in tokens:
+        if token.type != tokenize.COMMENT or "simlint" not in token.string:
+            continue
+        replacement = _normalise_suppression(token.string)
+        if replacement is not None:
+            fixes.append((token.start[0], token.string, replacement))
+    return fixes
+
+
+def fix_source(path: str, source: str) -> Tuple[str, int]:
+    """Apply every available fix to one file's text.
+
+    Returns ``(new_source, fixes_applied)``.  The function is a pure
+    text transform -- the caller decides whether to write the result.
+    """
+    applied = 0
+    # SUP001 first: comment edits never move AST node positions the
+    # DET001 pass relies on (comments are not AST nodes), but doing
+    # them on the original text keeps the token positions exact.
+    lines = source.splitlines(keepends=True)
+    for line, old, new in _sup001_fixes(source):
+        text = lines[line - 1]
+        if old in text:
+            lines[line - 1] = text.replace(old, new, 1)
+            applied += 1
+    source = "".join(lines)
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return source, applied
+    findings, _ = lint_sources([(path, source)], select=["DET001"])
+    edits = []
+    for finding in findings:
+        span = _det001_edit(tree, finding)
+        if span is not None:
+            edits.append(span)
+    # Apply bottom-up so earlier spans keep their offsets; spans never
+    # nest (each is one statement's iterable).
+    plain = source.splitlines(keepends=True)
+    for start, end in sorted(edits, reverse=True):
+        _splice(plain, start, end, "sorted(", ")")
+        applied += 1
+    return "".join(plain), applied
+
+
+def fix_paths(paths: Sequence[str]) -> Dict[str, int]:
+    """Fix every file under ``paths`` in place.
+
+    Returns ``{path: fixes_applied}`` for the files that changed.
+    """
+    changed: Dict[str, int] = {}
+    for file_path in collect_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        fixed, applied = fix_source(str(file_path), source)
+        if applied and fixed != source:
+            Path(file_path).write_text(fixed, encoding="utf-8")
+            changed[str(file_path)] = applied
+    return changed

@@ -1,0 +1,104 @@
+"""Finding baselines: adopt ``simlint`` on a codebase incrementally.
+
+A baseline file records the *accepted* findings of a tree so that CI
+can fail on **new** findings only.  Entries are keyed on ``(path,
+rule, message)`` with an occurrence count -- deliberately *not* on
+line numbers, which shift with every unrelated edit.  A finding is
+"new" when its key's count in the current report exceeds the baselined
+count; fixing occurrences never makes unrelated ones new.
+
+Workflow::
+
+    simlint src tests --baseline .simlint-baseline.json            # check
+    simlint src tests --baseline .simlint-baseline.json --baseline-update
+
+The update form rewrites the file from the current findings (dropping
+entries that no longer occur, so the baseline only ever shrinks unless
+explicitly re-accepted).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_SCHEMA_VERSION"]
+
+#: Bumped whenever the baseline file layout changes incompatibly.
+BASELINE_SCHEMA_VERSION = 1
+
+_Key = Tuple[str, str, str]  # (path, rule, message)
+
+
+class Baseline:
+    """Accepted finding counts keyed on ``(path, rule, message)``."""
+
+    def __init__(self, counts: Dict[_Key, int]):
+        self._counts = counts
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Dict[_Key, int] = {}
+        for finding in findings:
+            key = (finding.path, finding.rule, finding.message)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a bad schema."""
+        document = json.loads(path.read_text(encoding="utf-8"))
+        version = document.get("version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema version {version!r} in {path} "
+                f"(expected {BASELINE_SCHEMA_VERSION})"
+            )
+        counts: Dict[_Key, int] = {}
+        for entry in document.get("entries", []):
+            key = (entry["path"], entry["rule"], entry["message"])
+            count = int(entry.get("count", 1))
+            if count < 1:
+                raise ValueError(f"non-positive count in baseline entry {entry!r}")
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts)
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted entries; byte-stable across runs)."""
+        entries = [
+            {"path": p, "rule": r, "message": m, "count": count}
+            for (p, r, m), count in sorted(self._counts.items())
+        ]
+        document = {"version": BASELINE_SCHEMA_VERSION, "entries": entries}
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    # -- filtering -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def filter_new(self, findings: Iterable[Finding]) -> List[Finding]:
+        """The findings not covered by the baseline.
+
+        Findings sharing a key consume the baselined count in report
+        order (path, line, col): the *earliest* occurrences are the
+        accepted ones, so a newly added duplicate further down the
+        file surfaces while the original stays baselined.
+        """
+        remaining = dict(self._counts)
+        new: List[Finding] = []
+        for finding in sorted(findings):
+            key = (finding.path, finding.rule, finding.message)
+            left = remaining.get(key, 0)
+            if left > 0:
+                remaining[key] = left - 1
+            else:
+                new.append(finding)
+        return new

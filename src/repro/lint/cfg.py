@@ -1,0 +1,401 @@
+"""Intra-procedural control-flow graphs for the dataflow rules.
+
+One :class:`CFG` is built per function.  Nodes are *statements* (plus
+three synthetic nodes: entry, normal exit, exceptional exit); edges are
+labelled ``"next"`` (normal control transfer) or ``"except"`` (the
+statement raised, or -- for a ``yield`` suspension point -- the engine
+threw an interrupt into the frame).
+
+The graph is deliberately conservative:
+
+* **Every** statement gets an ``"except"`` edge to its innermost
+  exception target (handler dispatch, ``finally`` entry, or the
+  synthetic raise exit).  In the simulator the interesting raise sites
+  are yields (``Process.interrupt`` / crash kills arrive there) and
+  calls, but a uniform rule keeps the graph predictable and the
+  analysis sound.  The one exception is a ``try`` header, which runs
+  no code: its body's statements raise into the handler dispatch, the
+  header itself cannot raise at all.
+* ``with`` blocks are transparent to exceptions: the context manager's
+  ``__exit__`` is assumed not to suppress (true for every manager in
+  this codebase; a suppressing manager would hide, not invent, leaks).
+* A ``finally`` body is built once and shared by the normal and the
+  exceptional entries; the dataflow consequently merges both incoming
+  states (a may-analysis union -- conservative, never unsound).
+* ``except SomeError`` handler lists without a catch-all (bare
+  ``except`` or ``except BaseException``) keep an "unmatched" edge past
+  the handlers, because an interrupt thrown at a yield need not match.
+
+Only syntactic constructs are modelled; there is no alias analysis and
+no interprocedural propagation (see docs/LINTING.md for the limits).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "EDGE_NEXT", "EDGE_EXCEPT"]
+
+EDGE_NEXT = "next"
+EDGE_EXCEPT = "except"
+
+#: Exception names that catch an engine interrupt thrown at a yield.
+_CATCH_ALL_NAMES = {"BaseException"}
+
+
+class CFGNode:
+    """One statement (or synthetic marker) in the graph."""
+
+    __slots__ = ("node_id", "stmt", "label")
+
+    def __init__(self, node_id: int, stmt: Optional[ast.stmt], label: str):
+        self.node_id = node_id
+        self.stmt = stmt
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CFGNode({self.node_id}, {self.label!r})"
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.edges: Dict[int, List[Tuple[int, str]]] = {}
+        self.entry = self._new_node(None, "<entry>")
+        self.exit = self._new_node(None, "<exit>")
+        self.raise_exit = self._new_node(None, "<raise>")
+
+    def _new_node(self, stmt: Optional[ast.stmt], label: str) -> CFGNode:
+        node = CFGNode(len(self.nodes), stmt, label)
+        self.nodes.append(node)
+        self.edges[node.node_id] = []
+        return node
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        pair = (dst, kind)
+        if pair not in self.edges[src]:
+            self.edges[src].append(pair)
+
+    def successors(self, node: CFGNode) -> List[Tuple[CFGNode, str]]:
+        return [(self.nodes[dst], kind) for dst, kind in self.edges[node.node_id]]
+
+    def edge_set(self) -> Set[Tuple[str, str, str]]:
+        """``(src_label, dst_label, kind)`` triples, for fixture tests."""
+        out: Set[Tuple[str, str, str]] = set()
+        for src_id, succs in self.edges.items():
+            src = self.nodes[src_id].label
+            for dst_id, kind in succs:
+                out.add((src, self.nodes[dst_id].label, kind))
+        return out
+
+
+def _label(stmt: ast.stmt) -> str:
+    return f"{stmt.lineno}:{type(stmt).__name__}"
+
+
+@dataclass
+class _FinallyFrame:
+    """One enclosing ``finally`` body awaiting its exit continuations."""
+
+    entry: int
+    lasts: Tuple[int, ...]
+    #: The exception continuation outside the owning try statement
+    #: (finally-exit edges to it are tagged ``"except"``).
+    outer_exc: int
+    targets: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class _Ctx:
+    """Where control escapes to from the statements being built."""
+
+    exc: int
+    break_target: Optional["_Deferred"] = None
+    continue_target: Optional[int] = None
+    #: Enclosing finally frames, innermost last.
+    frames: Tuple[_FinallyFrame, ...] = ()
+    #: ``len(frames)`` when the innermost enclosing loop was entered:
+    #: break/continue only route through frames deeper than this.
+    loop_frame_depth: int = 0
+
+
+class _Deferred:
+    """A forward-edge target resolved after the construct is built."""
+
+    def __init__(self) -> None:
+        #: Nodes that jump straight to the deferred target.
+        self.sources: List[int] = []
+        #: Finally frames whose exit must continue at the target
+        #: (a break/continue that crossed a try/finally).
+        self.frames: List[_FinallyFrame] = []
+
+    def add(self, src: int) -> None:
+        self.sources.append(src)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: Every finally frame built; exit edges are wired at the end,
+        #: once all routed continuations (returns, breaks) are known.
+        self._all_frames: List[_FinallyFrame] = []
+
+    def build(self, func: ast.AST, body: Sequence[ast.stmt]) -> CFG:
+        ctx = _Ctx(exc=self.cfg.raise_exit.node_id)
+        first, lasts = self._build_block(body, ctx)
+        if first is None:
+            self.cfg.add_edge(self.cfg.entry.node_id, self.cfg.exit.node_id, EDGE_NEXT)
+        else:
+            self.cfg.add_edge(self.cfg.entry.node_id, first, EDGE_NEXT)
+        for last in lasts:
+            self.cfg.add_edge(last, self.cfg.exit.node_id, EDGE_NEXT)
+        for frame in self._all_frames:
+            for last in frame.lasts:
+                for target in sorted(frame.targets):
+                    kind = EDGE_EXCEPT if target == frame.outer_exc else EDGE_NEXT
+                    self.cfg.add_edge(last, target, kind)
+        return self.cfg
+
+    # -- block plumbing -------------------------------------------------
+
+    def _build_block(
+        self, body: Sequence[ast.stmt], ctx: _Ctx
+    ) -> Tuple[Optional[int], List[int]]:
+        """Build a statement list; returns (first node id, fallthrough ids)."""
+        first: Optional[int] = None
+        lasts: List[int] = []
+        for stmt in body:
+            s_first, s_lasts = self._build_stmt(stmt, ctx)
+            if first is None:
+                first = s_first
+            for last in lasts:
+                self.cfg.add_edge(last, s_first, EDGE_NEXT)
+            lasts = s_lasts
+        return first, lasts
+
+    def _route_through_finallys(
+        self, src: int, frames: Sequence[_FinallyFrame], final_target: Optional[int]
+    ) -> None:
+        """Wire ``src`` through ``frames`` (innermost first) to a target.
+
+        ``final_target`` of None means the function's normal exit.
+        """
+        if final_target is None:
+            final_target = self.cfg.exit.node_id
+        chain = list(frames)[::-1]  # innermost first
+        if not chain:
+            self.cfg.add_edge(src, final_target, EDGE_NEXT)
+            return
+        self.cfg.add_edge(src, chain[0].entry, EDGE_NEXT)
+        for frame, nxt in zip(chain, chain[1:]):
+            frame.targets.add(nxt.entry)
+        chain[-1].targets.add(final_target)
+
+    # -- statement dispatch ---------------------------------------------
+
+    def _build_stmt(self, stmt: ast.stmt, ctx: _Ctx) -> Tuple[int, List[int]]:
+        node = self.cfg._new_node(stmt, _label(stmt))
+        nid = node.node_id
+        # Uniform conservative rule: any statement may raise (and every
+        # yield inside one is a suspension point an interrupt can be
+        # thrown into).  Entering a ``try`` runs no code at all, so the
+        # header gets no except edge -- one here would carry pre-body
+        # state past the handlers straight to the outer target.
+        if not isinstance(stmt, ast.Try):
+            self.cfg.add_edge(nid, ctx.exc, EDGE_EXCEPT)
+
+        if isinstance(stmt, (ast.If,)):
+            return nid, self._build_branch(nid, [stmt.body, stmt.orelse], ctx)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return nid, self._build_loop(nid, stmt, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            b_first, b_lasts = self._build_block(stmt.body, ctx)
+            if b_first is None:
+                return nid, [nid]
+            self.cfg.add_edge(nid, b_first, EDGE_NEXT)
+            return nid, b_lasts
+        if isinstance(stmt, ast.Try):
+            return nid, self._build_try(nid, stmt, ctx)
+        if isinstance(stmt, ast.Match):
+            branches = [case.body for case in stmt.cases]
+            lasts = self._build_branch(nid, branches, ctx, force_fallthrough=True)
+            return nid, lasts
+        if isinstance(stmt, ast.Raise):
+            # No normal successor; the uniform except edge carries it.
+            return nid, []
+        if isinstance(stmt, ast.Return):
+            self._route_through_finallys(nid, ctx.frames, None)
+            return nid, []
+        if isinstance(stmt, ast.Break):
+            assert ctx.break_target is not None
+            frames = ctx.frames[ctx.loop_frame_depth:]
+            if frames:
+                # Through the finallys, then (deferred) past the loop.
+                chain = list(frames)[::-1]
+                self.cfg.add_edge(nid, chain[0].entry, EDGE_NEXT)
+                for frame, nxt in zip(chain, chain[1:]):
+                    frame.targets.add(nxt.entry)
+                ctx.break_target.frames.append(chain[-1])
+            else:
+                ctx.break_target.add(nid)
+            return nid, []
+        if isinstance(stmt, ast.Continue):
+            assert ctx.continue_target is not None
+            frames = ctx.frames[ctx.loop_frame_depth:]
+            if frames:
+                self._route_through_finallys(nid, frames, ctx.continue_target)
+            else:
+                self.cfg.add_edge(nid, ctx.continue_target, EDGE_NEXT)
+            return nid, []
+        # Simple statement: falls through.
+        return nid, [nid]
+
+    def _build_branch(
+        self,
+        header: int,
+        branches: Sequence[Sequence[ast.stmt]],
+        ctx: _Ctx,
+        force_fallthrough: bool = False,
+    ) -> List[int]:
+        """If/match-style branching from ``header``; returns fallthroughs."""
+        lasts: List[int] = []
+        saw_empty = force_fallthrough
+        for body in branches:
+            if not body:
+                saw_empty = True
+                continue
+            b_first, b_lasts = self._build_block(body, ctx)
+            self.cfg.add_edge(header, b_first, EDGE_NEXT)
+            lasts.extend(b_lasts)
+        if saw_empty:
+            lasts.append(header)
+        return lasts
+
+    def _build_loop(
+        self, header: int, stmt: ast.stmt, ctx: _Ctx
+    ) -> List[int]:
+        breaks = _Deferred()
+        loop_ctx = replace(
+            ctx,
+            break_target=breaks,
+            continue_target=header,
+            loop_frame_depth=len(ctx.frames),
+        )
+        body = stmt.body  # type: ignore[attr-defined]
+        orelse = stmt.orelse  # type: ignore[attr-defined]
+        b_first, b_lasts = self._build_block(body, loop_ctx)
+        if b_first is not None:
+            self.cfg.add_edge(header, b_first, EDGE_NEXT)
+            for last in b_lasts:
+                self.cfg.add_edge(last, header, EDGE_NEXT)
+        lasts: List[int] = []
+        # Condition-false / iterator-exhausted path: else body, then out.
+        if orelse:
+            e_first, e_lasts = self._build_block(orelse, ctx)
+            self.cfg.add_edge(header, e_first, EDGE_NEXT)
+            lasts.extend(e_lasts)
+        else:
+            lasts.append(header)
+        # break skips the else clause entirely.
+        lasts.extend(breaks.sources)
+        for frame in breaks.frames:
+            # A break routed through a finally: the finally's exit must
+            # continue after the loop.  Emit a join node so the deferred
+            # target exists now.
+            join = self.cfg._new_node(None, f"<break-join:{header}>")
+            frame.targets.add(join.node_id)
+            lasts.append(join.node_id)
+        return lasts
+
+    def _build_try(self, header: int, stmt: ast.Try, ctx: _Ctx) -> List[int]:
+        outer_exc = ctx.exc
+        frame: Optional[_FinallyFrame] = None
+        if stmt.finalbody:
+            f_first, f_lasts = self._build_block(stmt.finalbody, ctx)
+            if f_first is None:  # pragma: no cover - empty finally is a SyntaxError
+                f_first = header
+                f_lasts = [header]
+            frame = _FinallyFrame(
+                entry=f_first, lasts=tuple(f_lasts), outer_exc=outer_exc
+            )
+            # An exception that reaches the finally re-raises afterwards.
+            frame.targets.add(outer_exc)
+            self._all_frames.append(frame)
+
+        # Exceptions inside handler/else bodies skip this try's handlers.
+        after_ctx = ctx if frame is None else replace(
+            ctx, exc=frame.entry, frames=ctx.frames + (frame,)
+        )
+
+        # Handler bodies.
+        handler_entries: List[int] = []
+        handler_lasts: List[int] = []
+        catch_all = False
+        for handler in stmt.handlers:
+            if handler.type is None:
+                catch_all = True
+            else:
+                names = [
+                    n.id
+                    for n in ast.walk(handler.type)
+                    if isinstance(n, ast.Name)
+                ]
+                if any(name in _CATCH_ALL_NAMES for name in names):
+                    catch_all = True
+            h_first, h_lasts = self._build_block(handler.body, after_ctx)
+            if h_first is None:
+                continue
+            handler_entries.append(h_first)
+            handler_lasts.extend(h_lasts)
+
+        # Body: exceptions dispatch to every handler, and -- unless a
+        # catch-all is present -- escape past them too.
+        dispatch = self.cfg._new_node(None, f"<except-dispatch:{stmt.lineno}>")
+        for entry in handler_entries:
+            self.cfg.add_edge(dispatch.node_id, entry, EDGE_NEXT)
+        if not catch_all or not handler_entries:
+            unmatched = frame.entry if frame is not None else outer_exc
+            self.cfg.add_edge(dispatch.node_id, unmatched, EDGE_EXCEPT)
+        body_ctx = replace(
+            after_ctx,
+            exc=dispatch.node_id,
+        )
+        b_first, b_lasts = self._build_block(stmt.body, body_ctx)
+        if b_first is not None:
+            self.cfg.add_edge(header, b_first, EDGE_NEXT)
+        else:
+            b_lasts = [header]
+
+        # else body runs after normal body completion.
+        if stmt.orelse:
+            e_first, e_lasts = self._build_block(stmt.orelse, after_ctx)
+            if e_first is not None:
+                for last in b_lasts:
+                    self.cfg.add_edge(last, e_first, EDGE_NEXT)
+                b_lasts = e_lasts
+
+        lasts = b_lasts + handler_lasts
+        if frame is None:
+            return lasts
+        # Normal completion funnels through the finally body.
+        for last in lasts:
+            self.cfg.add_edge(last, frame.entry, EDGE_NEXT)
+        # The finally's exits continue to: the statement after the try
+        # (represented by a join node), plus every routed target
+        # (re-raise, return, break/continue continuations) -- wired at
+        # the end of build(), once all routes are known.
+        join = self.cfg._new_node(None, f"<finally-join:{stmt.lineno}>")
+        frame.targets.add(join.node_id)
+        return [join.node_id]
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one function (or module) body."""
+    body = getattr(func, "body", None)
+    if body is None:  # pragma: no cover - misuse guard
+        raise TypeError(f"node has no body: {func!r}")
+    return _Builder().build(func, body)

@@ -1,0 +1,80 @@
+"""A small forward-dataflow framework over :mod:`repro.lint.cfg` graphs.
+
+The framework is a classic worklist fixpoint: a *transfer function*
+maps a statement's input state to an output state per outgoing edge
+kind (``"next"`` gets the post-statement state, ``"except"`` gets the
+state as it was when the statement raised), and states from multiple
+predecessors are *merged* (a may-analysis union here -- facts are sets
+of possibilities, so merging can only add possibilities, never drop
+one).
+
+States are immutable mappings ``key -> frozenset(facts)``; a missing
+key means "nothing tracked".  The lattice is finite (keys and facts
+are drawn from the statements of one function), so the fixpoint
+terminates; the deterministic worklist order makes the analysis -- and
+therefore the findings -- byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Mapping, Tuple
+
+from repro.lint.cfg import CFG, CFGNode, EDGE_NEXT
+
+__all__ = ["State", "Transfer", "merge_states", "run_dataflow"]
+
+#: One dataflow state: tracked key -> set of facts about it.
+State = Mapping[str, FrozenSet[Tuple[object, ...]]]
+
+#: Statement transfer: state before -> (state on "next", state on "except").
+Transfer = Callable[[CFGNode, State], Tuple[State, State]]
+
+EMPTY_STATE: State = {}
+
+
+def merge_states(a: State, b: State) -> State:
+    """Pointwise union of two states."""
+    if not a:
+        return b
+    if not b:
+        return a
+    merged: Dict[str, FrozenSet[Tuple[object, ...]]] = dict(a)
+    for key, facts in b.items():
+        have = merged.get(key)
+        merged[key] = facts if have is None else have | facts
+    return merged
+
+
+def run_dataflow(
+    cfg: CFG, transfer: Transfer, entry_state: State = EMPTY_STATE
+) -> Dict[int, State]:
+    """Fixpoint input states per CFG node id.
+
+    The returned mapping gives, for every reachable node, the merged
+    state *before* the node's statement executes.  Synthetic nodes
+    (entry/exit/joins) pass state through unchanged on every edge;
+    the transfer function is only consulted for statement nodes.
+    """
+    in_states: Dict[int, State] = {cfg.entry.node_id: entry_state}
+    worklist = deque([cfg.entry.node_id])
+    queued = {cfg.entry.node_id}
+    while worklist:
+        node_id = worklist.popleft()
+        queued.discard(node_id)
+        node = cfg.nodes[node_id]
+        state = in_states[node_id]
+        if node.stmt is None:
+            normal = exceptional = state
+        else:
+            normal, exceptional = transfer(node, state)
+        for succ, kind in cfg.successors(node):
+            out = normal if kind == EDGE_NEXT else exceptional
+            have = in_states.get(succ.node_id)
+            merged = out if have is None else merge_states(have, out)
+            if have is None or merged != have:
+                in_states[succ.node_id] = merged
+                if succ.node_id not in queued:
+                    queued.add(succ.node_id)
+                    worklist.append(succ.node_id)
+    return in_states

@@ -8,6 +8,13 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.analyzer import FileAnalyzer, build_registry
 from repro.lint.findings import Finding
+from repro.lint.protocol import (
+    collect_wire_registry,
+    msg_cross_file_findings,
+    msg_findings_for_file,
+)
+from repro.lint.res import ResAnalyzer
+from repro.lint.rngrules import RngAnalyzer
 from repro.lint.suppressions import parse_suppressions
 
 __all__ = ["collect_files", "lint_paths", "lint_sources"]
@@ -62,15 +69,27 @@ def lint_sources(
             tree = None
         parsed.append((path, source, tree))
     registry = build_registry([tree for _, _, tree in parsed if tree is not None])
+    wire_registry = collect_wire_registry([(p, t) for p, _, t in parsed])
+    tables = {}
     for path, source, tree in parsed:
         if tree is None:
             continue
         raw = FileAnalyzer(path, tree, registry).run()
+        raw.extend(ResAnalyzer(path, tree).run())
+        raw.extend(RngAnalyzer(path, tree).run())
+        raw.extend(msg_findings_for_file(path, tree, wire_registry))
         table = parse_suppressions(source, path)
+        tables[path] = table
         findings.extend(table.errors)
         findings.extend(
             f for f in raw if not table.is_suppressed(f.line, f.rule)
         )
+    # Cross-file handler-coverage findings attach to the class-def site;
+    # that file's suppression table still applies.
+    for finding in msg_cross_file_findings(wire_registry):
+        table = tables.get(finding.path)
+        if table is None or not table.is_suppressed(finding.line, finding.rule):
+            findings.append(finding)
     if select:
         wanted = set(select)
         findings = [f for f in findings if f.rule in wanted]

@@ -1,0 +1,29 @@
+"""simsan: opt-in runtime sanitizer for the simulation kernel.
+
+Enabled with ``SystemConfig(sanitize=True)`` or ``REPRO_SIMSAN=1`` in
+the environment.  Observation-only: the sanitizer never schedules
+events, draws from streams or mutates model state, so a sanitized run
+produces bit-identical results to an unsanitized one -- it just also
+*checks* them.  See docs/LINTING.md for the check catalog and the
+measured overhead.
+"""
+
+from repro.sanitize.sanitizer import (
+    SanitizedRecorder,
+    SanitizedSimulator,
+    SanitizerError,
+    SanitizerReport,
+    SimSanitizer,
+    Violation,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "SanitizedRecorder",
+    "SanitizedSimulator",
+    "SanitizerError",
+    "SanitizerReport",
+    "SimSanitizer",
+    "Violation",
+    "sanitize_enabled",
+]

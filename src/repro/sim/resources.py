@@ -265,6 +265,7 @@ class Resource:
         unit on return and must pair this with ``release()`` in a
         ``finally`` block.
         """
+        # simlint: disable-next=RES002 -- grab() transfers the held unit to its caller by contract
         request = self.request()
         try:
             yield request

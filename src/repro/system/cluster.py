@@ -30,6 +30,12 @@ from repro.node.node import Node
 from repro.node.rdma import RdmaLockingProtocol
 from repro.node.transaction_manager import TransactionManager
 from repro.obs.recorder import NULL_RECORDER, PhaseRecorder
+from repro.sanitize import (
+    SanitizedRecorder,
+    SanitizedSimulator,
+    SimSanitizer,
+    sanitize_enabled,
+)
 from repro.routing.affinity import AffinityRouter
 from repro.routing.failover import FailoverRouter
 from repro.routing.random_router import RandomRouter
@@ -49,7 +55,14 @@ class Cluster:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        #: The simsan runtime sanitizer, when enabled (observation-only;
+        #: see repro.sanitize).  None keeps the fast event loop.
+        self.sanitizer: Optional[SimSanitizer] = None
+        if sanitize_enabled(config.sanitize):
+            self.sanitizer = SimSanitizer()
+            self.sim: Simulator = SanitizedSimulator(self.sanitizer.report)
+        else:
+            self.sim = Simulator()
         self.streams = StreamRegistry(config.random_seed)
         self.ledger = VersionLedger()
         self.detector = DeadlockDetector()
@@ -64,6 +77,10 @@ class Cluster:
             self.recorder = PhaseRecorder(self.sim)
         else:
             self.recorder = NULL_RECORDER
+        if self.sanitizer is not None:
+            self.recorder = SanitizedRecorder(
+                self.recorder, self.sanitizer.report
+            )
         self.network = Network(self.sim, config.network_bandwidth)
         self.gem = GemDevice(
             self.sim,
@@ -313,6 +330,15 @@ class Cluster:
         """Transactions currently waiting inside the protocol
         (lock queues, validation waits, epoch barriers), cluster-wide."""
         return self.protocol.num_blocked()
+
+    def sanitize_finish(self) -> None:
+        """Run the sanitizer's horizon checks (no-op when disabled).
+
+        Raises :class:`repro.sanitize.SanitizerError` with the full
+        structured report when any invariant was violated.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.finish(self)
 
     # -- results -----------------------------------------------------------------
 

@@ -306,6 +306,13 @@ class SystemConfig:
     #: Additionally retain every span for Chrome-trace export (implies
     #: breakdown collection; memory grows with run length).
     trace_spans: bool = False
+    #: Run under the simsan runtime sanitizer (repro.sanitize): the
+    #: event loop checks clock monotonicity per event, recorder spans
+    #: are balance-checked, and lock tables / resources / the RDMA pool
+    #: are verified at the horizon.  Observation-only -- simulated
+    #: results are bit-identical with it on -- but slower; also
+    #: enabled by ``REPRO_SIMSAN=1`` in the environment.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         self.coupling = Coupling(self.coupling)

@@ -35,6 +35,7 @@ def run_simulation(config: SystemConfig) -> RunResult:
     cluster.sim.run(until=config.warmup_time)
     cluster.reset_stats()
     cluster.sim.run(until=config.warmup_time + config.measure_time)
+    cluster.sanitize_finish()
     result = cluster.collect_results(config.measure_time)
     # simlint: disable-next=DET002 -- measures host wall-clock cost of the run itself
     result.wall_clock_seconds = time.perf_counter() - started

@@ -1,0 +1,175 @@
+"""Before/after fixtures for ``simlint --fix`` (DET001 + SUP001)."""
+
+import textwrap
+
+from repro.lint import fix_paths, fix_source, lint_sources
+
+
+def fix(source, path="mod.py"):
+    return fix_source(path, textwrap.dedent(source))
+
+
+class TestDET001Fixes:
+    def test_for_loop_iterable_is_wrapped(self):
+        fixed, applied = fix(
+            """\
+            def walk(members: set):
+                for member in members:
+                    print(member)
+            """
+        )
+        assert applied == 1
+        assert "for member in sorted(members):" in fixed
+
+    def test_list_materialisation_wraps_the_argument(self):
+        fixed, applied = fix(
+            """\
+            def snapshot(members: set):
+                return list(members)
+            """
+        )
+        assert applied == 1
+        assert "return list(sorted(members))" in fixed
+
+    def test_os_listing_wraps_the_whole_call(self):
+        fixed, applied = fix(
+            """\
+            import os
+
+
+            def entries(path):
+                return os.listdir(path)
+            """
+        )
+        assert applied == 1
+        assert "return sorted(os.listdir(path))" in fixed
+
+    def test_iter_over_set_has_no_mechanical_fix(self):
+        source = textwrap.dedent(
+            """\
+            def pick(members: set):
+                return next(iter(members))
+            """
+        )
+        fixed, applied = fix_source("mod.py", source)
+        assert applied == 0
+        assert fixed == source
+
+    def test_multiline_call_wraps_across_lines(self):
+        fixed, applied = fix(
+            """\
+            def snapshot(members: set):
+                return list(
+                    members
+                )
+            """
+        )
+        assert applied == 1
+        assert "sorted(members)" in fixed
+
+    def test_multiple_sites_fixed_bottom_up(self):
+        fixed, applied = fix(
+            """\
+            def f(a: set, b: set):
+                for x in a:
+                    print(x)
+                for y in b:
+                    print(y)
+            """
+        )
+        assert applied == 2
+        assert "for x in sorted(a):" in fixed
+        assert "for y in sorted(b):" in fixed
+
+
+class TestSUP001Fixes:
+    def test_colon_form_is_normalised(self):
+        fixed, applied = fix(
+            """\
+            import os
+
+            x = os.listdir(".")  # simlint: disable: det001 - host order ok here
+            """
+        )
+        assert applied == 1
+        assert "# simlint: disable=DET001 -- host order ok here" in fixed
+
+    def test_disable_next_underscore_form_is_normalised(self):
+        fixed, applied = fix(
+            """\
+            import os
+
+            # simlint: disable_next=DET001 -- host order ok here
+            x = os.listdir(".")
+            """
+        )
+        assert applied == 1
+        assert "# simlint: disable-next=DET001 -- host order ok here" in fixed
+
+    def test_missing_justification_is_not_invented(self):
+        source = textwrap.dedent(
+            """\
+            import time
+
+            t = time.time()  # simlint: disable=DET002
+            """
+        )
+        fixed, applied = fix_source("mod.py", source)
+        assert applied == 0
+        assert fixed == source
+
+    def test_unknown_rule_id_is_left_alone(self):
+        source = textwrap.dedent(
+            """\
+            x = 1  # simlint: disable: NOPE999 - not a real rule
+            """
+        )
+        fixed, applied = fix_source("mod.py", source)
+        assert applied == 0
+        assert fixed == source
+
+
+class TestIdempotencyAndIntegration:
+    def test_fix_is_idempotent(self):
+        source = """\
+        import os
+
+
+        def walk(members: set):
+            files = os.listdir(".")  # simlint: disable: det002 - fs order
+            return list(members) + files
+        """
+        once, applied_once = fix(source)
+        assert applied_once > 0
+        twice, applied_twice = fix_source("mod.py", once)
+        assert applied_twice == 0
+        assert twice == once
+
+    def test_fixed_output_lints_clean(self):
+        source = textwrap.dedent(
+            """\
+            import os
+
+
+            def walk(members: set):
+                for member in members:
+                    print(member)
+                return os.listdir(".")
+            """
+        )
+        fixed, applied = fix_source("mod.py", source)
+        assert applied == 2
+        findings, _files = lint_sources([("mod.py", fixed)])
+        assert findings == []
+
+    def test_fix_paths_writes_only_changed_files(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        clean = tmp_path / "clean.py"
+        dirty.write_text("def f(s: set):\n    return list(s)\n")
+        clean.write_text("def f():\n    return 1\n")
+        before = clean.stat().st_mtime_ns
+
+        changed = fix_paths([str(tmp_path)])
+        assert changed == {str(dirty): 1}
+        assert "list(sorted(s))" in dirty.read_text()
+        assert clean.stat().st_mtime_ns == before

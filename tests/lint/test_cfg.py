@@ -1,0 +1,293 @@
+"""Edge-set fixtures for the statement-level CFG builder.
+
+Each test parses a small function, builds its CFG and asserts the
+*exact* ``(src_label, dst_label, kind)`` edge set.  Labels are
+``line:StatementType`` for real statements and angle-bracketed names
+for synthetic nodes, so the expectations read like the control flow
+they encode.  These pin the semantics the dataflow rules rely on:
+
+* every statement except a ``try`` header has an ``"except"`` edge to
+  its innermost exception target;
+* ``with`` is transparent to exceptions (no implicit handler);
+* a shared ``finally`` body receives both the normal and exceptional
+  entries and fans out to every routed continuation;
+* ``while``/``else`` runs the else body on normal exhaustion only --
+  ``break`` skips it;
+* ``match`` always keeps a no-case-matched fallthrough.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg
+
+
+def edges(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0]).edge_set()
+
+
+class TestStraightLine:
+    def test_simple_body_chains_with_uniform_except_edges(self):
+        assert edges(
+            """\
+            def f():
+                a()
+                b()
+            """
+        ) == {
+            ("<entry>", "2:Expr", "next"),
+            ("2:Expr", "3:Expr", "next"),
+            ("2:Expr", "<raise>", "except"),
+            ("3:Expr", "<exit>", "next"),
+            ("3:Expr", "<raise>", "except"),
+        }
+
+    def test_generator_yields_are_plain_statements_with_raise_edges(self):
+        # A yield suspension point is where the engine throws interrupts
+        # into the frame; the uniform except edge models exactly that.
+        assert edges(
+            """\
+            def gen():
+                setup()
+                yield 1
+                teardown()
+            """
+        ) == {
+            ("<entry>", "2:Expr", "next"),
+            ("2:Expr", "3:Expr", "next"),
+            ("2:Expr", "<raise>", "except"),
+            ("3:Expr", "4:Expr", "next"),
+            ("3:Expr", "<raise>", "except"),
+            ("4:Expr", "<exit>", "next"),
+            ("4:Expr", "<raise>", "except"),
+        }
+
+
+class TestTry:
+    def test_try_except_else_finally(self):
+        # The try header itself has *no* except edge (entering a try
+        # runs no code); body raises dispatch to the handler, and both
+        # the handler and the else body funnel into the shared finally
+        # on their normal AND exceptional paths.
+        assert edges(
+            """\
+            def f():
+                try:
+                    a()
+                except ValueError:
+                    h()
+                else:
+                    e()
+                finally:
+                    fin()
+                after()
+            """
+        ) == {
+            ("<entry>", "2:Try", "next"),
+            ("2:Try", "3:Expr", "next"),
+            ("3:Expr", "7:Expr", "next"),
+            ("3:Expr", "<except-dispatch:2>", "except"),
+            # ValueError is not a catch-all: an unmatched exception (an
+            # engine interrupt, say) skips the handler into the finally.
+            ("<except-dispatch:2>", "5:Expr", "next"),
+            ("<except-dispatch:2>", "9:Expr", "except"),
+            ("5:Expr", "9:Expr", "next"),
+            ("5:Expr", "9:Expr", "except"),
+            ("7:Expr", "9:Expr", "next"),
+            ("7:Expr", "9:Expr", "except"),
+            # Finally exits: re-raise, or continue after the try.
+            ("9:Expr", "<raise>", "except"),
+            ("9:Expr", "<finally-join:2>", "next"),
+            ("<finally-join:2>", "10:Expr", "next"),
+            ("10:Expr", "<exit>", "next"),
+            ("10:Expr", "<raise>", "except"),
+        }
+
+    def test_catch_all_handler_swallows_the_unmatched_path(self):
+        assert edges(
+            """\
+            def f():
+                try:
+                    a()
+                except BaseException:
+                    h()
+                after()
+            """
+        ) == {
+            ("<entry>", "2:Try", "next"),
+            ("2:Try", "3:Expr", "next"),
+            ("3:Expr", "6:Expr", "next"),
+            ("3:Expr", "<except-dispatch:2>", "except"),
+            # No ("<except-dispatch:2>", ..., "except") escape edge:
+            # BaseException catches engine interrupts too.
+            ("<except-dispatch:2>", "5:Expr", "next"),
+            ("5:Expr", "6:Expr", "next"),
+            ("5:Expr", "<raise>", "except"),
+            ("6:Expr", "<exit>", "next"),
+            ("6:Expr", "<raise>", "except"),
+        }
+
+    def test_guarded_yield_reaches_finally_on_interrupt(self):
+        # The canonical resource pattern: try: yield entry / finally:
+        # release.  The yield's except edge must reach the finally body.
+        assert edges(
+            """\
+            def gen(entry):
+                try:
+                    yield entry
+                finally:
+                    cleanup()
+            """
+        ) == {
+            ("<entry>", "2:Try", "next"),
+            ("2:Try", "3:Expr", "next"),
+            ("3:Expr", "5:Expr", "next"),
+            ("3:Expr", "<except-dispatch:2>", "except"),
+            ("<except-dispatch:2>", "5:Expr", "except"),
+            ("5:Expr", "<raise>", "except"),
+            ("5:Expr", "<finally-join:2>", "next"),
+            ("<finally-join:2>", "<exit>", "next"),
+        }
+
+    def test_return_routes_through_the_finally(self):
+        assert edges(
+            """\
+            def f():
+                try:
+                    return val()
+                finally:
+                    fin()
+            """
+        ) == {
+            ("<entry>", "2:Try", "next"),
+            ("2:Try", "3:Return", "next"),
+            ("3:Return", "5:Expr", "next"),
+            ("3:Return", "<except-dispatch:2>", "except"),
+            ("<except-dispatch:2>", "5:Expr", "except"),
+            # The finally continues to the function exit (the routed
+            # return), the re-raise path, and the (unreachable here)
+            # fall-through join.
+            ("5:Expr", "<exit>", "next"),
+            ("5:Expr", "<finally-join:2>", "next"),
+            ("5:Expr", "<raise>", "except"),
+            ("<finally-join:2>", "<exit>", "next"),
+        }
+
+
+class TestWith:
+    def test_nested_with_is_exception_transparent(self):
+        # No handler dispatch, no finally: a raise anywhere inside the
+        # with bodies goes straight to the function's raise exit.
+        assert edges(
+            """\
+            def f():
+                with a() as x:
+                    with b() as y:
+                        body()
+                after()
+            """
+        ) == {
+            ("<entry>", "2:With", "next"),
+            ("2:With", "3:With", "next"),
+            ("2:With", "<raise>", "except"),
+            ("3:With", "4:Expr", "next"),
+            ("3:With", "<raise>", "except"),
+            ("4:Expr", "5:Expr", "next"),
+            ("4:Expr", "<raise>", "except"),
+            ("5:Expr", "<exit>", "next"),
+            ("5:Expr", "<raise>", "except"),
+        }
+
+
+class TestLoops:
+    def test_while_else_break_skips_the_else(self):
+        assert edges(
+            """\
+            def f():
+                while cond():
+                    if flag():
+                        break
+                    step()
+                else:
+                    tail()
+                after()
+            """
+        ) == {
+            ("<entry>", "2:While", "next"),
+            ("2:While", "3:If", "next"),
+            ("2:While", "7:Expr", "next"),  # exhaustion -> else body
+            ("2:While", "<raise>", "except"),
+            ("3:If", "4:Break", "next"),
+            ("3:If", "5:Expr", "next"),
+            ("3:If", "<raise>", "except"),
+            ("4:Break", "8:Expr", "next"),  # break lands AFTER the else
+            ("4:Break", "<raise>", "except"),
+            ("5:Expr", "2:While", "next"),  # back edge
+            ("5:Expr", "<raise>", "except"),
+            ("7:Expr", "8:Expr", "next"),
+            ("7:Expr", "<raise>", "except"),
+            ("8:Expr", "<exit>", "next"),
+            ("8:Expr", "<raise>", "except"),
+        }
+
+    def test_break_through_finally_runs_the_finally_first(self):
+        found = edges(
+            """\
+            def f():
+                while cond():
+                    try:
+                        if flag():
+                            break
+                    finally:
+                        fin()
+                after()
+            """
+        )
+        # The break enters the finally body, whose exit fans out to the
+        # loop continuation (fall-through join -> header) AND to the
+        # after-loop break join; labels for the join carry node ids, so
+        # match on the shape rather than the id.
+        assert ("5:Break", "7:Expr", "next") in found
+        break_joins = {
+            (src, dst, kind)
+            for (src, dst, kind) in found
+            if dst.startswith("<break-join:") or src.startswith("<break-join:")
+        }
+        assert any(
+            src == "7:Expr" and kind == "next" for src, dst, kind in break_joins
+        ), break_joins
+        assert any(
+            dst == "8:Expr" and kind == "next" for src, dst, kind in break_joins
+        ), break_joins
+        # Loop fall-through: finally-join feeds the back edge.
+        assert ("<finally-join:3>", "2:While", "next") in found
+        # And the re-raise path survives.
+        assert ("7:Expr", "<raise>", "except") in found
+
+
+class TestMatch:
+    def test_match_keeps_a_no_case_fallthrough(self):
+        assert edges(
+            """\
+            def f(cmd):
+                match cmd:
+                    case "a":
+                        a()
+                    case "b":
+                        b()
+                after()
+            """
+        ) == {
+            ("<entry>", "2:Match", "next"),
+            ("2:Match", "4:Expr", "next"),
+            ("2:Match", "6:Expr", "next"),
+            ("2:Match", "7:Expr", "next"),  # no case matched
+            ("2:Match", "<raise>", "except"),
+            ("4:Expr", "7:Expr", "next"),
+            ("4:Expr", "<raise>", "except"),
+            ("6:Expr", "7:Expr", "next"),
+            ("6:Expr", "<raise>", "except"),
+            ("7:Expr", "<exit>", "next"),
+            ("7:Expr", "<raise>", "except"),
+        }

@@ -1,0 +1,122 @@
+"""Seeded fixtures for the RNG stream-discipline rules."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def lint_src(source, path="fixture.py"):
+    findings, _files = lint_sources([(path, textwrap.dedent(source))])
+    return findings
+
+
+def at(findings, rule):
+    return [(f.line, f.col) for f in findings if f.rule == rule]
+
+
+class TestRNG001RawGenerators:
+    def test_raw_random_construction_fires(self):
+        findings = lint_src(
+            """\
+            from random import Random
+
+
+            def make_sampler(seed):
+                return Random(seed)
+            """
+        )
+        assert at(findings, "RNG001") == [(5, 11)]
+
+    def test_system_random_fires(self):
+        findings = lint_src(
+            """\
+            import random
+
+
+            def token():
+                return random.SystemRandom().random()
+            """
+        )
+        assert (5, 11) in at(findings, "RNG001")
+
+    def test_stream_layer_classes_are_exempt(self):
+        findings = lint_src(
+            """\
+            from random import Random
+
+
+            class Stream:
+                def __init__(self, seed):
+                    self._rng = Random(seed)
+
+
+            class StreamRegistry:
+                def fork(self, seed):
+                    return Random(seed)
+            """
+        )
+        assert at(findings, "RNG001") == []
+
+    def test_drawing_from_a_registry_stream_is_clean(self):
+        findings = lint_src(
+            """\
+            def think_time(streams):
+                return streams.get("arrivals").expovariate(10.0)
+            """
+        )
+        assert at(findings, "RNG001") == []
+
+
+class TestRNG002CrossReplicateGuards:
+    def test_draw_guarded_by_job_count_fires(self):
+        findings = lint_src(
+            """\
+            def jitter(stream, config):
+                if config.jobs > 1:
+                    return stream.uniform(0.0, 1.0)
+                return 0.0
+            """
+        )
+        assert at(findings, "RNG002") == [(3, 15)]
+
+    def test_draw_guarded_by_environment_fires(self):
+        findings = lint_src(
+            """\
+            import os
+
+
+            def jitter(stream):
+                if os.environ.get("WORKERS"):
+                    return stream.uniform(0.0, 1.0)
+                return 0.0
+            """
+        )
+        assert at(findings, "RNG002") == [(6, 15)]
+
+    def test_unconditional_draw_with_guarded_use_is_clean(self):
+        # Drawing first and *using* conditionally keeps every replicate's
+        # stream position identical -- the canonical fix for RNG002.
+        findings = lint_src(
+            """\
+            import os
+
+
+            def jitter(stream):
+                value = stream.uniform(0.0, 1.0)
+                if os.environ.get("WORKERS"):
+                    return value
+                return 0.0
+            """
+        )
+        assert at(findings, "RNG002") == []
+
+    def test_draw_guarded_by_simulation_state_is_clean(self):
+        findings = lint_src(
+            """\
+            def think_time(stream, txn):
+                if txn.is_update:
+                    return stream.expovariate(5.0)
+                return stream.expovariate(20.0)
+            """
+        )
+        assert at(findings, "RNG002") == []
